@@ -1,0 +1,73 @@
+"""Ablation: where the conservativeness is spent (early vs all layers).
+
+The paper applies alpha > 1 only to the first 20 layers, reasoning that
+prediction imprecision concentrates early.  This ablation runs the
+trained 7B-role model with the same aggressive effective alpha applied
+(a) uniformly and (b) to the early half only: restricting the aggression
+to fewer layers must recover accuracy, which is the flip side of the
+paper's placement argument.
+"""
+
+import pytest
+
+from repro.core.engine import SparseInferSettings, build_engine, dense_engine
+from repro.core.predictor import SparseInferPredictor
+from repro.eval.harness import evaluate
+from repro.eval.rolemodels import evaluation_tasks
+
+from .conftest import write_result
+
+AGGRESSIVE_ALPHA = 0.7  # effective alpha of the paper-label 1.00 row
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_alpha_placement(benchmark, role_7b_weights, role_tokenizer,
+                         results_dir):
+    weights = role_7b_weights
+    tasks = evaluation_tasks(n_samples=80)
+    predictor = SparseInferPredictor.from_gate_weights(
+        weights.gate_matrices()
+    )
+    n_half = weights.config.n_layers // 2
+
+    def run():
+        out = {}
+        out["dense"] = {
+            name: evaluate(dense_engine(weights), role_tokenizer, s,
+                           task=name).accuracy
+            for name, s in tasks.items()
+        }
+        configs = {
+            "uniform": SparseInferSettings(alpha=AGGRESSIVE_ALPHA),
+            "early-half only": SparseInferSettings(
+                alpha=1.0, alpha_early=AGGRESSIVE_ALPHA,
+                n_early_layers=n_half,
+            ),
+        }
+        for label, settings in configs.items():
+            engine = build_engine(weights, settings, predictor=predictor)
+            out[label] = {
+                name: evaluate(engine, role_tokenizer, s, task=name).accuracy
+                for name, s in tasks.items()
+            }
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    def avg(d):
+        return sum(d.values()) / len(d)
+
+    # Restricting the aggressive alpha to fewer layers must not hurt.
+    assert avg(results["early-half only"]) >= avg(results["uniform"]) - 1.0
+
+    lines = [f"{'config':<18}" + "".join(f"{t:>14}" for t in tasks)
+             + f"{'avg':>9}"]
+    for label, accs in results.items():
+        lines.append(
+            f"{label:<18}"
+            + "".join(f"{accs[t]:>14.2f}" for t in tasks)
+            + f"{avg(accs):>9.2f}"
+        )
+    text = "\n".join(lines)
+    write_result(results_dir, "ablation_alpha_placement.txt", text)
+    print("\n" + text)

@@ -1,0 +1,42 @@
+"""Extension bench: sparsity advantage vs decode batch size.
+
+Not a paper table -- it quantifies the regime the paper (and PowerInfer /
+DejaVu) implicitly targets: single-sequence, on-device decoding.  With a
+decode batch the exploitable skip set is the intersection across
+sequences, so SparseInfer's advantage decays toward dense as batch grows
+unless activations are correlated.
+"""
+
+import pytest
+
+from repro.gpu.batching import batch_sweep
+from repro.gpu.pipeline import SparsityProfile
+
+from .conftest import write_result
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_batching_decay(benchmark, cfg13, orin, results_dir):
+    profile = SparsityProfile.uniform(cfg13.n_layers, 0.90, 0.92)
+    sweep = benchmark.pedantic(
+        batch_sweep,
+        args=(cfg13, orin, profile),
+        kwargs=dict(batch_sizes=(1, 2, 4, 8, 16), correlation=0.0),
+        rounds=1, iterations=1,
+    )
+    lines = [f"{'batch':>6}{'dense tok/s':>13}{'sparse tok/s':>14}"
+             f"{'speedup':>9}{'skip':>7}"]
+    for row in sweep:
+        lines.append(
+            f"{row['batch_size']:>6}"
+            f"{row['dense'].tokens_per_second:>13.2f}"
+            f"{row['sparse'].tokens_per_second:>14.2f}"
+            f"{row['speedup']:>8.2f}x"
+            f"{row['sparse'].exploited_skip:>7.1%}"
+        )
+    speedups = [row["speedup"] for row in sweep]
+    assert speedups == sorted(speedups, reverse=True)
+    assert speedups[0] > 1.5 and speedups[-1] < 1.2
+    text = "\n".join(lines)
+    write_result(results_dir, "ablation_batching.txt", text)
+    print("\n" + text)

@@ -1,0 +1,72 @@
+"""DSE extension: alpha sweep with the energy model (EDP objective).
+
+The paper frames alpha as a DSE knob "given the target platform, the
+model, and the downstream task"; on Jetson-class targets energy-delay
+product is the natural second axis.  Not a paper table -- an extension
+bench exercising repro.gpu.energy and repro.core.dse together.
+"""
+
+import pytest
+
+from repro.core.dse import pareto_front, sweep
+from repro.eval.latency import measure_sparsity
+from repro.gpu.energy import decode_energy
+from repro.gpu.pipeline import EngineSpec, dense_engine
+from repro.model.synthetic import SyntheticActivationModel
+
+from .conftest import write_result
+
+
+@pytest.mark.benchmark(group="dse")
+def test_dse_pareto_sweep(benchmark, cfg7, orin, results_dir):
+    points = benchmark.pedantic(
+        sweep,
+        args=(cfg7,),
+        kwargs=dict(alphas=(0.98, 1.0, 1.02, 1.06, 1.12), device=orin,
+                    n_tokens=3, n_rows=192),
+        rounds=1, iterations=1,
+    )
+    front = pareto_front(points)
+    assert front, "Pareto front must be non-empty"
+    # All sweep points must beat the dense baseline.
+    assert all(p.speedup_over_dense > 1.3 for p in points)
+    lines = [f"{'alpha':>6}{'ms/tok':>9}{'precision':>11}{'pareto':>8}"]
+    front_set = {p.alpha for p in front}
+    for p in points:
+        lines.append(
+            f"{p.alpha:>6.2f}{p.seconds_per_token*1e3:>9.1f}"
+            f"{p.mean_precision:>11.4f}{'*' if p.alpha in front_set else '':>8}"
+        )
+    text = "\n".join(lines)
+    write_result(results_dir, "dse_pareto.txt", text)
+    print("\n" + text)
+
+
+@pytest.mark.benchmark(group="dse")
+def test_energy_per_token(benchmark, cfg13, orin, results_dir):
+    model = SyntheticActivationModel(cfg13, seed=4)
+
+    def run():
+        profile = measure_sparsity(model, 1.0, n_tokens=3,
+                                   n_rows=192).profile()
+        dense = decode_energy(cfg13, dense_engine(), orin, seq_len=700)
+        si = decode_energy(
+            cfg13,
+            EngineSpec(kind="sparseinfer", kernel_fusion=True,
+                       actual_sparsity=True),
+            orin, profile, seq_len=700,
+        )
+        return dense, si
+
+    dense, si = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert si.joules_per_token < dense.joules_per_token
+    saving = 1.0 - si.joules_per_token / dense.joules_per_token
+    text = (
+        f"dense       : {dense.joules_per_token:6.2f} J/token "
+        f"(EDP {dense.energy_delay_product*1e3:7.2f} mJ*s)\n"
+        f"SparseInfer : {si.joules_per_token:6.2f} J/token "
+        f"(EDP {si.energy_delay_product*1e3:7.2f} mJ*s)\n"
+        f"energy saving: {saving:.0%} per generated token"
+    )
+    write_result(results_dir, "dse_energy.txt", text)
+    print("\n" + text)

@@ -1,0 +1,57 @@
+"""Fig. 2: distributions of X, Wgate,i and Y = X * Wgate,i per layer.
+
+Verifies the paper's observations on the full-dimension synthetic
+activation model of ProSparse-Llama2-13B: near-symmetric X and W, product
+mean approaching zero, and early-layer X concentrated around zero.
+"""
+
+import pytest
+
+from repro.eval.distributions import figure2
+from repro.model.synthetic import SyntheticActivationModel
+
+from .conftest import write_result
+
+FIG2_LAYERS = [0, 1, 2, 10, 20, 30, 39]
+
+
+@pytest.fixture(scope="module")
+def synth13(cfg13):
+    return SyntheticActivationModel(cfg13, seed=0)
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_distributions(benchmark, synth13, results_dir):
+    reports = benchmark.pedantic(
+        figure2,
+        args=(synth13, FIG2_LAYERS),
+        kwargs=dict(n_tokens=6, n_rows=128),
+        rounds=1, iterations=1,
+    )
+
+    lines = [
+        f"{'layer':>6}{'X std':>9}{'X pos%':>8}{'X kurt':>8}{'X near0':>9}"
+        f"{'W pos%':>8}{'Y mean/std':>12}"
+    ]
+    for rep in reports:
+        lines.append(
+            f"{rep.layer:>6}{rep.x.std:>9.4f}"
+            f"{rep.x.positive_fraction:>8.1%}{rep.x.kurtosis:>8.1f}"
+            f"{rep.x.near_zero_fraction:>9.1%}"
+            f"{rep.w_row.positive_fraction:>8.1%}"
+            f"{rep.product_mean_normalised:>12.4f}"
+        )
+        # Paper: near-equal positive/negative split for X and Wgate.
+        assert abs(rep.x.positive_fraction - 0.5) < 0.1
+        assert abs(rep.w_row.positive_fraction - 0.5) < 0.1
+        # Paper: Y symmetric with mean approaching zero.
+        assert abs(rep.product_mean_normalised) < 0.15
+
+    early, late = reports[0], reports[-1]
+    # Paper: early-layer X dominated by near-zero values, narrow.
+    assert early.x.near_zero_fraction > late.x.near_zero_fraction
+    assert early.x.std < late.x.std
+
+    text = "\n".join(lines)
+    write_result(results_dir, "fig2_distributions.txt", text)
+    print("\n" + text)

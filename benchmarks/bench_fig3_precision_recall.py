@@ -1,0 +1,50 @@
+"""Fig. 3: per-layer precision/recall of the sparsity prediction for
+ProSparse-Llama2-7B and -13B (synthetic activation model at true scale).
+
+Paper: precision >99% overall with a visible dip in the early layers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.precision_recall import figure3_synthetic
+from repro.model.synthetic import SyntheticActivationModel
+
+from .conftest import write_result
+
+
+def _render(points, title):
+    lines = [title, f"{'layer':>6}{'precision':>11}{'recall':>9}{'sparsity':>10}"]
+    for p in points:
+        lines.append(
+            f"{p.layer:>6}{p.precision:>11.4f}{p.recall:>9.4f}"
+            f"{p.quality.actual_sparsity:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="fig3")
+@pytest.mark.parametrize("which", ["13B", "7B"])
+def test_fig3_precision_recall(benchmark, which, cfg13, cfg7, results_dir):
+    cfg = cfg13 if which == "13B" else cfg7
+    model = SyntheticActivationModel(cfg, seed=1)
+    points = benchmark.pedantic(
+        figure3_synthetic,
+        args=(model,),
+        kwargs=dict(alpha=1.0, n_tokens=4, n_rows=384),
+        rounds=1, iterations=1,
+    )
+    precisions = np.array([p.precision for p in points])
+    recalls = np.array([p.recall for p in points])
+
+    # Paper shape: early-layer dip, high plateau afterwards.
+    assert precisions[:2].min() < precisions[8:].mean()
+    assert precisions[8:].mean() > 0.985
+    assert recalls[8:].mean() > 0.99
+    # Overall sparsity near the ProSparse ~90% level.
+    sparsities = [p.quality.actual_sparsity for p in points]
+    assert 0.8 < float(np.mean(sparsities)) < 0.95
+
+    text = _render(points, f"Fig. 3 -- ProSparse-Llama2-{which} (alpha=1.0)")
+    write_result(results_dir, f"fig3_precision_recall_{which}.txt", text)
+    print("\n" + text)

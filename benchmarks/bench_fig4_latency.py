@@ -1,0 +1,59 @@
+"""Fig. 4: end-to-end token-generation latency on the Orin roofline model.
+
+Paper headline (alpha=1.00, best SparseInfer variant):
+  13B: 1.79x over llama.cpp, 1.27x over PowerInfer
+  7B:  1.74x over llama.cpp, 1.30x over PowerInfer
+and the speedup decreases slightly as alpha grows.
+"""
+
+import pytest
+
+from repro.eval.latency import figure4, format_figure4
+
+from .conftest import write_result
+
+TARGETS = {
+    "13B": dict(si=1.79, pi=1.27),
+    "7B": dict(si=1.74, pi=1.30),
+}
+
+
+@pytest.mark.benchmark(group="fig4")
+@pytest.mark.parametrize("which", ["13B", "7B"])
+def test_fig4_latency(benchmark, which, cfg13, cfg7, orin, results_dir):
+    cfg = cfg13 if which == "13B" else cfg7
+    result = benchmark.pedantic(
+        figure4,
+        args=(cfg, orin),
+        kwargs=dict(n_tokens=4, n_rows=256, seed=0),
+        rounds=1, iterations=1,
+    )
+
+    best = result.speedup_over_llamacpp(1.0, "+KF+AS")
+    over_pi = result.speedup_over_powerinfer(1.0, "+KF+AS")
+    target = TARGETS[which]
+    assert best == pytest.approx(target["si"], abs=0.2)
+    assert over_pi == pytest.approx(target["pi"], abs=0.2)
+
+    # Alpha trend: larger alpha -> fewer skips -> slightly slower.
+    s_100 = result.sparseinfer[1.00]["+KF+AS"].seconds_per_token
+    s_103 = result.sparseinfer[1.03]["+KF+AS"].seconds_per_token
+    assert s_103 >= s_100 - 1e-9
+
+    # Every SparseInfer variant beats PowerInfer, which beats llama.cpp.
+    for variants in result.sparseinfer.values():
+        for rep in variants.values():
+            assert rep.seconds_per_token < result.powerinfer.seconds_per_token
+    assert (
+        result.powerinfer.seconds_per_token
+        < result.llamacpp.seconds_per_token
+    )
+
+    text = (
+        format_figure4(result)
+        + f"\n-> alpha=1.00 +KF+AS: {best:.2f}x over llama.cpp "
+        f"(paper {target['si']}x), {over_pi:.2f}x over PowerInfer "
+        f"(paper {target['pi']}x)"
+    )
+    write_result(results_dir, f"fig4_latency_{which}.txt", text)
+    print("\n" + text)

@@ -1,0 +1,38 @@
+"""Table I: number of operations for prediction and MLP block.
+
+Paper values (per layer, ProSparse-Llama2-13B):
+
+    llama.cpp (dense)   prediction 0          MLP 2.123e8
+    PowerInfer          prediction 1.940e7    MLP 1.699e7
+    SparseInfer         prediction 2.211e6    MLP 1.699e7
+"""
+
+import pytest
+
+from repro.eval.opcounts import format_table1, table1
+
+from .conftest import write_result
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_opcounts(benchmark, cfg13, results_dir):
+    rows = benchmark(table1, cfg13)
+
+    dense, powerinfer, sparseinfer = rows
+    assert dense.mlp_ops == pytest.approx(2.123e8, rel=1e-3)
+    assert powerinfer.prediction_ops == pytest.approx(1.940e7, rel=1e-3)
+    assert sparseinfer.prediction_ops == pytest.approx(2.211e6, rel=1e-3)
+    assert sparseinfer.mlp_ops == pytest.approx(1.699e7, rel=1e-3)
+
+    text = format_table1(rows)
+    write_result(results_dir, "table1_opcounts.txt", text)
+    print("\n" + text)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_7b_variant(benchmark, cfg7, results_dir):
+    """Same counting conventions on the 7B config (not in the paper's
+    table, recorded for completeness)."""
+    rows = benchmark(table1, cfg7)
+    assert rows[0].mlp_ops == 3 * 4096 * 11008
+    write_result(results_dir, "table1_opcounts_7b.txt", format_table1(rows))

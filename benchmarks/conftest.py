@@ -1,0 +1,74 @@
+"""Benchmark fixtures.
+
+Role-model weights are trained once per machine and cached under
+``.weight_cache/`` (see :func:`repro.train.trainer.train_or_load`); the
+first benchmark run therefore includes a few minutes of training, later
+runs load the ``.npz`` snapshots.
+
+Rendered tables/figures are written to ``benchmarks/results/`` so that
+``pytest benchmarks/ --benchmark-only`` leaves the reproduced artefacts
+on disk.
+"""
+
+import os
+from pathlib import Path
+
+for _var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS",
+             "NUMEXPR_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(path: Path, name: str, text: str) -> None:
+    (path / name).write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def orin():
+    from repro.gpu.device import jetson_orin_agx_64gb
+
+    return jetson_orin_agx_64gb()
+
+
+@pytest.fixture(scope="session")
+def cfg13():
+    from repro.model.config import prosparse_llama2_13b
+
+    return prosparse_llama2_13b()
+
+
+@pytest.fixture(scope="session")
+def cfg7():
+    from repro.model.config import prosparse_llama2_7b
+
+    return prosparse_llama2_7b()
+
+
+@pytest.fixture(scope="session")
+def role_tokenizer():
+    from repro.eval.rolemodels import build_tokenizer
+
+    return build_tokenizer()
+
+
+@pytest.fixture(scope="session")
+def role_7b_weights(role_tokenizer):
+    from repro.eval.rolemodels import load_role_model, spec_7b_role
+
+    return load_role_model(spec_7b_role(role_tokenizer), role_tokenizer)
+
+
+@pytest.fixture(scope="session")
+def role_13b_weights(role_tokenizer):
+    from repro.eval.rolemodels import load_role_model, spec_13b_role
+
+    return load_role_model(spec_13b_role(role_tokenizer), role_tokenizer)

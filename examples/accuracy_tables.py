@@ -1,0 +1,44 @@
+"""Reproduce Tables II and III: downstream accuracy vs alpha.
+
+Trains the two role models (cached after the first run: a few minutes of
+numpy training each), then evaluates the dense baseline, the SparseInfer
+alpha sweep and the random-skip control on the GSM8K-like and BBH-like
+tasks.
+
+Run:  python examples/accuracy_tables.py
+"""
+
+import os
+
+for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(var, "1")
+
+from repro.eval.accuracy import accuracy_table, format_table
+from repro.eval.rolemodels import (
+    build_tokenizer,
+    evaluation_tasks,
+    load_role_model,
+    spec_13b_role,
+    spec_7b_role,
+)
+
+
+def main() -> None:
+    tokenizer = build_tokenizer()
+    tasks = evaluation_tasks(n_samples=150)
+    for label, spec in (("Table II (13B role)", spec_13b_role(tokenizer)),
+                        ("Table III (7B role)", spec_7b_role(tokenizer))):
+        print(f"\ntraining/loading {spec.config.name} "
+              f"({spec.train_settings.steps} steps, cached afterwards)...")
+        weights = load_role_model(spec, tokenizer)
+        table = accuracy_table(
+            weights, tokenizer, tasks, include_random_baseline=True
+        )
+        print(f"\n=== {label} ===")
+        print(format_table(table))
+    print("\nPaper trend: accuracy dips at alpha=1.00 and recovers to "
+          "within ~1pp by alpha=1.03; random 90% skipping is far worse.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Design-space exploration over the conservativeness knob alpha.
+
+The paper positions alpha as a DSE control knob: sweep it (and the target
+device) and chart the (latency, prediction-fidelity) trade-off, printing
+the Pareto-optimal operating points for each device.
+
+Run:  python examples/dse_alpha_sweep.py
+"""
+
+import os
+
+for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(var, "1")
+
+from repro.core.dse import pareto_front, sweep
+from repro.gpu.device import (
+    jetson_orin_agx_64gb,
+    jetson_orin_nx_16gb,
+    rtx_4090,
+)
+from repro.model.config import prosparse_llama2_7b
+
+
+def main() -> None:
+    config = prosparse_llama2_7b()
+    alphas = (0.98, 1.0, 1.01, 1.02, 1.03, 1.06, 1.12)
+    for device in (jetson_orin_agx_64gb(), jetson_orin_nx_16gb(), rtx_4090()):
+        points = sweep(config, alphas=alphas, device=device,
+                       n_tokens=3, n_rows=192)
+        front = pareto_front(points)
+        print(f"\n=== {config.name} on {device.name} ===")
+        print(f"{'alpha':>7}{'ms/token':>10}{'speedup':>9}{'precision':>11}"
+              f"{'recall':>8}{'skip':>7}{'pareto':>8}")
+        front_alphas = {p.alpha for p in front}
+        for p in points:
+            star = "*" if p.alpha in front_alphas else ""
+            print(f"{p.alpha:>7.2f}{p.seconds_per_token*1e3:>10.1f}"
+                  f"{p.speedup_over_dense:>8.2f}x{p.mean_precision:>11.4f}"
+                  f"{p.mean_recall:>8.3f}{p.mean_predicted_skip:>7.1%}"
+                  f"{star:>8}")
+    print("\n* = Pareto-optimal (no point is both faster and more precise)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Prompt-length robustness of the sparse decode path.
+
+The paper evaluates 8-shot GSM8K: long few-shot prompts are prefilled
+densely, and sparsity is exploited only while decoding (Section V-C).
+This example grows the prompt with 0/2/4 solved exemplars and shows that
+the decode-phase skip fraction -- SparseInfer's entire saving -- is
+unaffected by prompt length, while prefill cost grows linearly (and is
+modelled as compute-bound in `repro.gpu.pipeline.prefill_timeline`).
+
+Note on accuracy: the role models are trained zero-shot, so exemplar
+prefixes are out-of-distribution for them and exact-match accuracy is
+only meaningful in the 0-shot row (few-shot *formatting* is a training
+distribution property, not an engine property).
+
+Run:  python examples/fewshot_eval.py
+"""
+
+import os
+
+for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(var, "1")
+
+import numpy as np
+
+from repro.core.engine import SparseInferSettings, build_engine, dense_engine
+from repro.eval.harness import evaluate
+from repro.eval.rolemodels import build_tokenizer, load_role_model, spec_7b_role
+from repro.gpu.device import jetson_orin_agx_64gb
+from repro.gpu.pipeline import prefill_timeline
+from repro.model.config import prosparse_llama2_13b
+from repro.workloads import gsm8k_like
+from repro.workloads.fewshot import fewshot_set
+
+
+def main() -> None:
+    tokenizer = build_tokenizer()
+    spec = spec_7b_role(tokenizer)
+    print(f"training/loading {spec.config.name} (cached after first run)...")
+    weights = load_role_model(spec, tokenizer)
+
+    dense = dense_engine(weights)
+    sparse = build_engine(weights, SparseInferSettings(alpha=1.0))
+
+    print(f"\n{'shots':>6}{'prompt chars':>14}{'decode skip':>13}"
+          f"{'0-shot acc (dense/sparse)':>28}")
+    for n_shots in (0, 2, 4):
+        samples = fewshot_set(
+            gsm8k_like.generate, n_samples=40, n_shots=n_shots, seed=300
+        )
+        prompt_len = int(np.mean([len(s.prompt) for s in samples]))
+        sparse.mlp.reset_stats()
+        sparse_res = evaluate(sparse, tokenizer, samples, task="gsm")
+        skip = sparse.mlp.stats.gate_skip_fraction
+        if n_shots == 0:
+            dense_acc = evaluate(dense, tokenizer, samples, task="gsm").accuracy
+            acc = f"{dense_acc:.1f}% / {sparse_res.accuracy:.1f}%"
+        else:
+            acc = "(out-of-distribution prompt)"
+        print(f"{n_shots:>6}{prompt_len:>14}{skip:>12.1%}{acc:>28}")
+
+    # Prefill cost at true 13B scale grows with the prompt, decode doesn't.
+    cfg = prosparse_llama2_13b()
+    device = jetson_orin_agx_64gb()
+    print("\nmodelled 13B prefill cost on Orin (dense, compute-amortised):")
+    for n_tokens in (64, 256, 1024):
+        ms = prefill_timeline(cfg, n_tokens).latency(device) * 1e3
+        print(f"  {n_tokens:>5}-token prompt: {ms:7.1f} ms "
+              f"({ms / n_tokens:.2f} ms/token)")
+    print("\nThe decode-phase skip fraction is prompt-length invariant; "
+          "only the dense prefill scales with shots.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Reproduce the paper's on-device latency studies (Table I, Section V-A,
+Fig. 4) on the Jetson Orin roofline model at true 7B/13B dimensions.
+
+Run:  python examples/ondevice_latency_model.py
+"""
+
+import os
+
+for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(var, "1")
+
+from repro.eval.latency import figure4, format_figure4
+from repro.eval.memusage import compare_predictor_memory, format_comparison
+from repro.eval.opcounts import format_table1, table1
+from repro.eval.overhead import predictor_overhead
+from repro.gpu.device import jetson_orin_agx_64gb
+from repro.model.config import prosparse_llama2_7b, prosparse_llama2_13b
+
+
+def main() -> None:
+    cfg13 = prosparse_llama2_13b()
+    cfg7 = prosparse_llama2_7b()
+    device = jetson_orin_agx_64gb()
+
+    print("=== Table I: operations per layer (13B) ===")
+    print(format_table1(table1(cfg13)))
+
+    print("\n=== Section V-A.1: predictor latency ===")
+    rep = predictor_overhead(cfg13, device)
+    print(f"SparseInfer : {rep.sparseinfer_us:6.1f} us/token/layer "
+          f"(paper: ~70 us)")
+    print(f"PowerInfer  : {rep.powerinfer_us:6.1f} us/token/layer")
+    print(f"speedup     : {rep.speedup:.2f}x (paper: 3.66x)")
+
+    print("\n=== Section V-A.2: predictor memory ===")
+    print(format_comparison(compare_predictor_memory(cfg13)))
+
+    print("\n=== Fig. 4: end-to-end token-generation latency ===")
+    for cfg in (cfg13, cfg7):
+        result = figure4(cfg, device, n_tokens=4, n_rows=256)
+        print()
+        print(format_figure4(result))
+        best = result.speedup_over_llamacpp(1.0, "+KF+AS")
+        over_pi = result.speedup_over_powerinfer(1.0, "+KF+AS")
+        print(f"-> best speedup {best:.2f}x over llama.cpp, "
+              f"{over_pi:.2f}x over PowerInfer "
+              f"(paper: {'1.79x / 1.27x' if '13B' in cfg.name else '1.74x / 1.30x'})")
+
+
+if __name__ == "__main__":
+    main()

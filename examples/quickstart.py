@@ -1,0 +1,75 @@
+"""Quickstart: predict activation sparsity with sign bits only.
+
+Builds a small ReLU-fied model, packs the sign bits of its gate matrices
+(the one-time offline step), and compares SparseInfer decoding against the
+dense reference -- printing skip fractions, prediction quality, and the
+agreement of the generated text.
+
+Run:  python examples/quickstart.py
+"""
+
+import os
+
+for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(var, "1")
+
+import numpy as np
+
+from repro import (
+    SparseInferSettings,
+    build_engine,
+    dense_engine,
+    evaluate_skip_prediction,
+    random_weights,
+    tiny_7b_role,
+    true_skip_mask,
+)
+from repro.model.tokenizer import CharTokenizer
+from repro.workloads import gsm8k_like
+
+
+def main() -> None:
+    tokenizer = CharTokenizer(gsm8k_like.ALPHABET)
+    config = tiny_7b_role(vocab_size=tokenizer.vocab_size)
+    weights = random_weights(config, seed=0)
+    print(f"model: {config.name}  d={config.d_model} k={config.d_ff} "
+          f"layers={config.n_layers}")
+
+    # --- offline step: pack sign bits, choose the alpha schedule ---------
+    settings = SparseInferSettings(alpha=1.0, alpha_early=1.03,
+                                   n_early_layers=2)
+    sparse = build_engine(weights, settings, trace_mlp_inputs=True)
+    dense = dense_engine(weights)
+
+    # --- decode the same prompt through both engines ---------------------
+    sample = gsm8k_like.generate(1, seed=7)[0]
+    prompt = tokenizer.encode(sample.prompt, add_bos=True)
+    out_sparse = sparse.generate(prompt, 3)
+    dense_out = dense.generate(prompt, 3)
+
+    print(f"\nprompt        : {sample.prompt!r}")
+    print(f"dense output  : {tokenizer.decode(dense_out.generated_ids)!r}")
+    print(f"sparse output : {tokenizer.decode(out_sparse.generated_ids)!r}")
+
+    stats = sparse.mlp.stats
+    print(f"\ngate rows skipped : {stats.gate_skip_fraction:6.1%} (predicted)")
+    print(f"up   rows skipped : {stats.up_skip_fraction:6.1%} (+actual sparsity)")
+    print(f"down rows skipped : {stats.down_skip_fraction:6.1%}")
+
+    # --- prediction quality against the exact pre-activations ------------
+    qualities = []
+    for trace in sparse.traces:
+        pred = sparse.mlp.predictor.predict(trace.layer, trace.x)
+        qualities.append(
+            evaluate_skip_prediction(pred.skip, true_skip_mask(trace.gate_preact))
+        )
+    precision = np.mean([q.precision for q in qualities])
+    recall = np.mean([q.recall for q in qualities])
+    print(f"\npredictor precision : {precision:.3f}")
+    print(f"predictor recall    : {recall:.3f}")
+    print("\n(untrained random weights have ~50% gate sparsity; train a role "
+          "model -- examples/accuracy_tables.py -- for ProSparse-like 90%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""The ReLUfication + ProSparse pipeline, end to end (paper Section II).
+
+Reproduces the model-preparation recipe behind ProSparse-Llama2 at
+laptop scale:
+
+1. pre-train a small gated-MLP LM with **SiLU** (low activation sparsity),
+2. **ReLUfy**: swap the gate activation to ReLU and fine-tune,
+3. add ProSparse-style progressive **L1 regularisation** to push gate
+   sparsity toward 90%,
+4. optionally finish with a **FATReLU** threshold,
+
+then show what each stage buys the SparseInfer predictor.
+
+Run:  python examples/train_relufied_lm.py
+"""
+
+import os
+
+for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(var, "1")
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core.metrics import evaluate_skip_prediction, sparsity
+from repro.core.predictor import SparseInferPredictor, true_skip_mask
+from repro.model.config import ModelConfig
+from repro.model.inference import InferenceModel
+from repro.model.tokenizer import CharTokenizer
+from repro.train.data import batches_from_task
+from repro.train.lm import TrainableLM
+from repro.train.relufication import relufy
+from repro.train.trainer import TrainSettings, train
+from repro.workloads import gsm8k_like
+
+
+def stage_report(name: str, model: TrainableLM, tokenizer) -> None:
+    """Measure gate sparsity and predictor quality at this stage."""
+    weights = model.export_weights()
+    engine = InferenceModel(weights, trace_mlp_inputs=True)
+    for s in gsm8k_like.generate(4, seed=77):
+        engine.reset()
+        engine.generate(tokenizer.encode(s.prompt, add_bos=True), 3)
+    gate_sparsity = float(np.mean(
+        [sparsity(np.maximum(t.gate_preact, 0.0)) for t in engine.traces]
+    ))
+    predictor = SparseInferPredictor.from_gate_weights(weights.gate_matrices())
+    qualities = [
+        evaluate_skip_prediction(
+            predictor.predict(t.layer, t.x).skip,
+            true_skip_mask(t.gate_preact),
+        )
+        for t in engine.traces
+    ]
+    precision = float(np.mean([q.precision for q in qualities]))
+    recall = float(np.mean([q.recall for q in qualities]))
+    print(f"{name:<28} gate sparsity {gate_sparsity:6.1%}   "
+          f"predictor P={precision:.3f} R={recall:.3f}")
+
+
+def main() -> None:
+    tokenizer = CharTokenizer(gsm8k_like.ALPHABET)
+    config = ModelConfig(
+        name="relufication-demo", vocab_size=tokenizer.vocab_size,
+        d_model=96, n_layers=3, n_heads=3, d_ff=224, max_seq_len=64,
+        dtype_bytes=4, activation="silu",
+    )
+    batches = batches_from_task(
+        gsm8k_like.generate, tokenizer, n_batches=16, batch_size=32, seed=0
+    )
+
+    print("stage 1: pre-training with SiLU ...")
+    model = TrainableLM(config, seed=0)
+    train(model, batches, TrainSettings(steps=300, lr=3e-3, l1_peak=0.0))
+    stage_report("SiLU pre-trained", model, tokenizer)
+
+    print("\nstage 2: ReLUfication (swap + fine-tune) ...")
+    relufy(model, batches, TrainSettings(steps=200, lr=1.5e-3, l1_peak=0.0))
+    stage_report("ReLU-fied", model, tokenizer)
+
+    print("\nstage 3: ProSparse L1 ramp ...")
+    train(model, batches, TrainSettings(steps=300, lr=1.5e-3, l1_peak=4e-3,
+                                        l1_warmup_fraction=0.4))
+    stage_report("+ ProSparse L1", model, tokenizer)
+
+    print("\nstage 4: FATReLU threshold ...")
+    out = model.forward(batches[0].tokens, collect_gate_activations=True)
+    del out
+    result = relufy(
+        model, batches, TrainSettings(steps=100, lr=1e-3, l1_peak=4e-3),
+        fatrelu_target_sparsity=0.92,
+    )
+    model.config = replace(model.config)  # freeze
+    stage_report(f"+ FATReLU (thr={result.fatrelu_threshold:.4f})",
+                 model, tokenizer)
+
+    print("\nSiLU barely produces exact zeros; ReLUfication + ProSparse "
+          "creates the ~90% sparsity SparseInfer exploits.")
+
+
+if __name__ == "__main__":
+    main()

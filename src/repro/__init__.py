@@ -1,0 +1,79 @@
+"""SparseInfer reproduction: training-free activation-sparsity prediction
+for fast LLM inference (Shin, Yang & Yi, DATE 2025).
+
+Public API tour
+---------------
+Core contribution (:mod:`repro.core`):
+
+>>> from repro import SparseInferPredictor, AlphaSchedule
+>>> predictor = SparseInferPredictor.from_gate_weights(gate_mats)  # doctest: +SKIP
+
+End-to-end engines over trainable role models:
+
+>>> from repro import build_engine, SparseInferSettings  # doctest: +SKIP
+
+Analytical reproductions at true 7B/13B scale live in :mod:`repro.eval`
+(Table I, Figs. 2-4) over :mod:`repro.gpu` (Jetson Orin roofline model)
+and :mod:`repro.model.synthetic` (statistical activation model).
+"""
+
+from .core.alpha import AlphaSchedule, calibrate_alpha
+from .core.engine import (
+    SparseInferSettings,
+    build_engine,
+    build_predictor,
+    dense_engine,
+)
+from .core.metrics import PredictionQuality, evaluate_skip_prediction
+from .core.predictor import (
+    LayerPrediction,
+    SparseInferPredictor,
+    predict_skip_from_counts,
+    true_skip_mask,
+)
+from .core.signpack import PackedSigns, pack_signs, popcount, xor_popcount
+from .core.sparse_mlp import SparseInferMLP
+from .model.config import (
+    ModelConfig,
+    prosparse_llama2_7b,
+    prosparse_llama2_13b,
+    tiny_7b_role,
+    tiny_13b_role,
+)
+from .model.inference import InferenceModel
+from .model.synthetic import SyntheticActivationModel
+from .model.tokenizer import CharTokenizer
+from .model.weights import ModelWeights, random_weights
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlphaSchedule",
+    "CharTokenizer",
+    "InferenceModel",
+    "LayerPrediction",
+    "ModelConfig",
+    "ModelWeights",
+    "PackedSigns",
+    "PredictionQuality",
+    "SparseInferMLP",
+    "SparseInferPredictor",
+    "SparseInferSettings",
+    "SyntheticActivationModel",
+    "build_engine",
+    "build_predictor",
+    "calibrate_alpha",
+    "dense_engine",
+    "evaluate_skip_prediction",
+    "pack_signs",
+    "popcount",
+    "predict_skip_from_counts",
+    "prosparse_llama2_13b",
+    "prosparse_llama2_7b",
+    "random_weights",
+    "tiny_13b_role",
+    "tiny_7b_role",
+    "true_skip_mask",
+    "xor_popcount",
+    "__version__",
+]

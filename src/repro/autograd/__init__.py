@@ -1,0 +1,4 @@
+"""Numpy reverse-mode autodiff substrate (training-side engine)."""
+
+from .optim import SGD, Adam, clip_grad_norm
+from .tensor import Tensor, parameter, zeros

@@ -1,0 +1,175 @@
+"""Fused neural-network ops with hand-written gradients.
+
+These are the building blocks of the trainable Llama-style substrate:
+embedding lookup, RMSNorm, rotary position embedding, softmax,
+cross-entropy, and causal self-attention.  Fusing them keeps the tape
+short and the numpy training loop fast enough for the accuracy
+experiments (Tables II-III).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor, unbroadcast
+
+
+def embedding(table: Tensor, token_ids: np.ndarray) -> Tensor:
+    """Row lookup ``table[token_ids]`` with scatter-add gradient."""
+    token_ids = np.asarray(token_ids)
+    data = table.data[token_ids]
+
+    def backward(out: Tensor):
+        def fn():
+            if table.requires_grad:
+                grad = np.zeros_like(table.data)
+                np.add.at(grad, token_ids.reshape(-1), out.grad.reshape(-1, table.data.shape[1]))
+                table._accumulate(grad)
+        return fn
+
+    return table._make(data, (table,), backward)
+
+
+def rmsnorm(x: Tensor, weight: Tensor, eps: float = 1e-5) -> Tensor:
+    """Root-mean-square layer norm: ``x / rms(x) * weight`` (Llama-style)."""
+    ms = np.mean(x.data * x.data, axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(ms + eps)
+    normed = x.data * inv
+    data = normed * weight.data
+
+    def backward(out: Tensor):
+        def fn():
+            d = x.data.shape[-1]
+            if x.requires_grad:
+                gw = out.grad * weight.data
+                # d(normed)/dx: inv * (I - x x^T inv^2 / d)
+                dot = np.sum(gw * x.data, axis=-1, keepdims=True)
+                grad = inv * gw - (inv ** 3) * x.data * dot / d
+                x._accumulate(grad)
+            if weight.requires_grad:
+                grad_w = (out.grad * normed).reshape(-1, d).sum(axis=0)
+                weight._accumulate(grad_w)
+        return fn
+
+    return x._make(data, (x, weight), backward)
+
+
+def rope_rotation(seq_len: int, head_dim: int, theta: float = 10000.0,
+                  offset: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Precompute cos/sin tables for rotary position embeddings.
+
+    Returns arrays of shape ``(seq_len, head_dim // 2)``.
+    """
+    if head_dim % 2 != 0:
+        raise ValueError(f"head_dim must be even for RoPE, got {head_dim}")
+    half = head_dim // 2
+    freqs = theta ** (-np.arange(half, dtype=np.float64) * 2.0 / head_dim)
+    pos = np.arange(offset, offset + seq_len, dtype=np.float64)[:, None]
+    angles = pos * freqs[None, :]
+    return np.cos(angles).astype(np.float32), np.sin(angles).astype(np.float32)
+
+
+def apply_rope(x: Tensor, cos: np.ndarray, sin: np.ndarray) -> Tensor:
+    """Rotate pairs of channels by position-dependent angles.
+
+    ``x`` has shape ``(..., seq, head_dim)``; ``cos``/``sin`` have shape
+    ``(seq, head_dim/2)``.  The rotation is orthogonal, so the gradient is
+    the inverse rotation.
+    """
+    half = x.data.shape[-1] // 2
+    x1, x2 = x.data[..., :half], x.data[..., half:]
+    data = np.concatenate([x1 * cos - x2 * sin, x1 * sin + x2 * cos], axis=-1)
+
+    def backward(out: Tensor):
+        def fn():
+            if x.requires_grad:
+                g1, g2 = out.grad[..., :half], out.grad[..., half:]
+                grad = np.concatenate(
+                    [g1 * cos + g2 * sin, -g1 * sin + g2 * cos], axis=-1
+                )
+                x._accumulate(grad)
+        return fn
+
+    return x._make(data, (x,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax with fused gradient."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(out: Tensor):
+        def fn():
+            if x.requires_grad:
+                dot = np.sum(out.grad * data, axis=axis, keepdims=True)
+                x._accumulate(data * (out.grad - dot))
+        return fn
+
+    return x._make(data, (x,), backward)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  ignore_index: int = -1) -> Tensor:
+    """Mean token-level cross entropy.
+
+    ``logits`` has shape ``(..., vocab)``; ``targets`` the matching integer
+    shape.  Positions equal to ``ignore_index`` contribute nothing (used to
+    mask prompt tokens so only answer tokens train, and for padding).
+    """
+    targets = np.asarray(targets)
+    flat_logits = logits.data.reshape(-1, logits.data.shape[-1])
+    flat_targets = targets.reshape(-1)
+    mask = flat_targets != ignore_index
+    count = max(int(mask.sum()), 1)
+    shifted = flat_logits - flat_logits.max(axis=-1, keepdims=True)
+    logsumexp = np.log(np.exp(shifted).sum(axis=-1))
+    safe_targets = np.where(mask, flat_targets, 0)
+    picked = shifted[np.arange(flat_logits.shape[0]), safe_targets]
+    losses = (logsumexp - picked) * mask
+    data = np.array(losses.sum() / count, dtype=np.float32)
+
+    def backward(out: Tensor):
+        def fn():
+            if logits.requires_grad:
+                probs = np.exp(shifted)
+                probs /= probs.sum(axis=-1, keepdims=True)
+                probs[np.arange(flat_logits.shape[0]), safe_targets] -= 1.0
+                probs *= (mask / count)[:, None]
+                logits._accumulate(
+                    (probs * out.grad).reshape(logits.data.shape)
+                )
+        return fn
+
+    return logits._make(data, (logits,), backward)
+
+
+def causal_attention(
+    q: Tensor, k: Tensor, v: Tensor, n_heads: int,
+    mask: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Multi-head causal self-attention over full sequences (training path).
+
+    ``q``, ``k``, ``v`` have shape ``(batch, seq, d_model)``.  Splits heads,
+    applies a causal mask (plus an optional additive ``mask`` of shape
+    ``(seq, seq)``), and re-merges heads.
+    """
+    batch, seq, d_model = q.shape
+    if d_model % n_heads:
+        raise ValueError("d_model must divide by n_heads")
+    head_dim = d_model // n_heads
+
+    def split(t: Tensor) -> Tensor:
+        return t.reshape(batch, seq, n_heads, head_dim).transpose(0, 2, 1, 3)
+
+    qh, kh, vh = split(q), split(k), split(v)
+    scores = (qh @ kh.swapaxes(-1, -2)) * (1.0 / float(np.sqrt(head_dim)))
+    causal = np.triu(np.full((seq, seq), -1e9, dtype=np.float32), k=1)
+    if mask is not None:
+        causal = causal + mask.astype(np.float32)
+    scores = scores + Tensor(causal)
+    attn = softmax(scores, axis=-1)
+    out = attn @ vh
+    return out.transpose(0, 2, 1, 3).reshape(batch, seq, d_model)

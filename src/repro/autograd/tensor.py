@@ -1,0 +1,438 @@
+"""A small reverse-mode automatic differentiation engine on numpy.
+
+Supports everything the trainable transformer substrate needs: broadcasted
+arithmetic, matmul, reductions, activations (ReLU / SiLU for the
+ReLUfication experiments), and indexing.  Fused NN ops with hand-written
+gradients (softmax cross-entropy, RMSNorm, RoPE, embedding) live in
+:mod:`repro.autograd.functional`.
+
+Gradients propagate through a topologically-sorted tape; each op stores a
+closure over its inputs.  Broadcasting is handled by summing the upstream
+gradient back down to the operand's shape (:func:`unbroadcast`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, inverting numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum along axes that were broadcast from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with an optional gradient tape entry."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    __array_priority__ = 100  # beat numpy in mixed expressions
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _prev: Sequence["Tensor"] = (),
+        name: str = "",
+    ):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Optional[Callable[[], None]] = None
+        self._prev = tuple(_prev)
+        self.name = name
+
+    # -- basic protocol --------------------------------------------------
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    # -- graph machinery --------------------------------------------------
+
+    @staticmethod
+    def _lift(value: ArrayLike) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = unbroadcast(np.asarray(grad, dtype=np.float32), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Back-propagate from this tensor through the recorded tape."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a scalar"
+                )
+            grad = np.ones_like(self.data)
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        self.grad = np.asarray(grad, dtype=np.float32).reshape(self.data.shape)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def _make(
+        self, data: np.ndarray, parents: Sequence["Tensor"], backward: Callable
+    ) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, _prev=parents if requires else ())
+        if requires:
+            out._backward = backward(out)
+        return out
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._lift(other)
+        data = self.data + other.data
+
+        def backward(out: Tensor):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad)
+                if other.requires_grad:
+                    other._accumulate(out.grad)
+            return fn
+
+        return self._make(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._lift(other)
+        data = self.data * other.data
+
+        def backward(out: Tensor):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad * other.data)
+                if other.requires_grad:
+                    other._accumulate(out.grad * self.data)
+            return fn
+
+        return self._make(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-self._lift(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._lift(other) + (-self)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        return self * self._lift(other) ** -1.0
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._lift(other) * self ** -1.0
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data ** exponent
+
+        def backward(out: Tensor):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(
+                        out.grad * exponent * self.data ** (exponent - 1)
+                    )
+            return fn
+
+        return self._make(data, (self,), backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = self._lift(other)
+        data = self.data @ other.data
+
+        def backward(out: Tensor):
+            def fn():
+                if self.requires_grad:
+                    grad = out.grad @ np.swapaxes(other.data, -1, -2)
+                    self._accumulate(unbroadcast(grad, self.data.shape))
+                if other.requires_grad:
+                    grad = np.swapaxes(self.data, -1, -2) @ out.grad
+                    other._accumulate(unbroadcast(grad, other.data.shape))
+            return fn
+
+        return self._make(data, (self, other), backward)
+
+    # -- reductions ---------------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(out: Tensor):
+            def fn():
+                if not self.requires_grad:
+                    return
+                grad = out.grad
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    for ax in sorted(a % self.data.ndim for a in axes):
+                        grad = np.expand_dims(grad, ax)
+                self._accumulate(np.broadcast_to(grad, self.data.shape))
+            return fn
+
+        return self._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else (
+            np.prod([self.data.shape[a] for a in
+                     (axis if isinstance(axis, tuple) else (axis,))])
+        )
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / float(count))
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(out: Tensor):
+            def fn():
+                if not self.requires_grad:
+                    return
+                grad = out.grad
+                expanded = data
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    for ax in sorted(a % self.data.ndim for a in axes):
+                        grad = np.expand_dims(grad, ax)
+                        expanded = np.expand_dims(expanded, ax)
+                mask = (self.data == expanded).astype(np.float32)
+                mask /= np.maximum(mask.sum(
+                    axis=axis, keepdims=True) if axis is not None else mask.sum(),
+                    1.0)
+                self._accumulate(mask * grad)
+            return fn
+
+        return self._make(data, (self,), backward)
+
+    # -- shape ops -----------------------------------------------------------
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+        original = self.data.shape
+
+        def backward(out: Tensor):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad.reshape(original))
+            return fn
+
+        return self._make(data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        data = self.data.transpose(axes)
+        inverse = tuple(np.argsort(axes))
+
+        def backward(out: Tensor):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad.transpose(inverse))
+            return fn
+
+        return self._make(data, (self,), backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        axes = list(range(self.data.ndim))
+        axes[a], axes[b] = axes[b], axes[a]
+        return self.transpose(*axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+
+        def backward(out: Tensor):
+            def fn():
+                if self.requires_grad:
+                    grad = np.zeros_like(self.data)
+                    np.add.at(grad, index, out.grad)
+                    self._accumulate(grad)
+            return fn
+
+        return self._make(data, (self,), backward)
+
+    # -- element-wise nonlinearities ------------------------------------------
+
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+
+        def backward(out: Tensor):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad * data)
+            return fn
+
+        return self._make(data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        data = np.log(self.data)
+
+        def backward(out: Tensor):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad / self.data)
+            return fn
+
+        return self._make(data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+
+        def backward(out: Tensor):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad * (1.0 - data * data))
+            return fn
+
+        return self._make(data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(out: Tensor):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad * data * (1.0 - data))
+            return fn
+
+        return self._make(data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        data = np.maximum(self.data, 0.0)
+
+        def backward(out: Tensor):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad * (self.data > 0.0))
+            return fn
+
+        return self._make(data, (self,), backward)
+
+    def silu(self) -> "Tensor":
+        """SiLU / swish: x * sigmoid(x) -- the pre-ReLUfication activation."""
+        sig = 1.0 / (1.0 + np.exp(-self.data))
+        data = self.data * sig
+
+        def backward(out: Tensor):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad * (sig * (1.0 + self.data * (1.0 - sig))))
+            return fn
+
+        return self._make(data, (self,), backward)
+
+    def fatrelu(self, threshold: float) -> "Tensor":
+        """FATReLU: zero below a positive threshold (ProSparse, Section II)."""
+        keep = self.data >= threshold
+        data = np.where(keep, self.data, 0.0)
+
+        def backward(out: Tensor):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad * keep)
+            return fn
+
+        return self._make(data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+
+        def backward(out: Tensor):
+            def fn():
+                if self.requires_grad:
+                    self._accumulate(out.grad * np.sign(self.data))
+            return fn
+
+        return self._make(data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+
+def parameter(
+    shape: tuple, rng: np.random.Generator, scale: float = 0.02, name: str = ""
+) -> Tensor:
+    """A trainable tensor initialised from N(0, scale^2)."""
+    t = Tensor(
+        rng.standard_normal(shape).astype(np.float32) * scale,
+        requires_grad=True,
+        name=name,
+    )
+    return t
+
+
+def zeros(shape: tuple, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=requires_grad)
+
+
+def ones(shape: tuple, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape, dtype=np.float32), requires_grad=requires_grad)

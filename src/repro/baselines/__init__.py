@@ -1,0 +1,6 @@
+"""Baselines: dense (llama.cpp role), DejaVu/PowerInfer, random, CATS."""
+
+from .dejavu import DejaVuPredictor, DejaVuTrainConfig, train_dejavu_predictor
+from .powerinfer import PowerInferMLP, build_powerinfer_engine
+from .random_skip import RandomSkipMLP
+from .threshold import ThresholdMLP, calibrate_thresholds

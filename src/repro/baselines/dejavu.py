@@ -1,0 +1,154 @@
+"""DejaVu-style trained activation-sparsity predictor (paper Section II).
+
+DejaVu attaches a small two-layer fully-connected network to every MLP
+block and trains it to predict which gate activations will be zero.
+PowerInfer adopts this predictor.  We reproduce it faithfully -- including
+the part SparseInfer criticises: it must be *trained* on activation traces
+of the target model, it occupies ``(d*r + r*k) * dtype`` bytes per layer,
+and it costs ``d*r + r*k`` MACs per token per layer.
+
+The predictor is a per-layer ``sigmoid(relu(x @ A) @ B)`` scoring head
+trained with binary cross entropy against the ground-truth sparsity mask;
+a decision threshold trades precision for recall (PowerInfer ships
+precision-biased predictors so live neurons are rarely dropped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..autograd.optim import Adam
+from ..autograd.tensor import Tensor, parameter
+from ..model.inference import MLPTrace
+
+
+@dataclass
+class DejaVuTrainConfig:
+    """Hyper-parameters of predictor training."""
+
+    rank: int = 32
+    steps: int = 150
+    lr: float = 3e-3
+    batch_size: int = 64
+    decision_threshold: float = 0.5
+
+    def __post_init__(self):
+        if self.rank <= 0:
+            raise ValueError(f"rank must be positive, got {self.rank}")
+        if not 0.0 < self.decision_threshold < 1.0:
+            raise ValueError(
+                f"decision_threshold must be in (0,1), got {self.decision_threshold}"
+            )
+
+
+def _bce_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Numerically-stable mean binary cross entropy."""
+    z = logits
+    # log(1 + exp(z)) = relu(z) + log(1 + exp(-|z|))
+    softplus = z.relu() + ((z.abs() * -1.0).exp() + 1.0).log()
+    loss = softplus - z * targets
+    return loss.mean()
+
+
+@dataclass
+class LayerPredictorWeights:
+    """One layer's trained FC predictor."""
+
+    a: np.ndarray  # (d, rank)
+    b: np.ndarray  # (rank, k)
+
+    @property
+    def nbytes_fp16(self) -> int:
+        return 2 * (self.a.size + self.b.size)
+
+    def scores(self, x: np.ndarray) -> np.ndarray:
+        """Sparsity logits for one input vector: ``relu(x A) B``."""
+        hidden = np.maximum(x @ self.a, 0.0)
+        return hidden @ self.b
+
+
+class DejaVuPredictor:
+    """The trained low-rank predictor over all layers of one model."""
+
+    def __init__(self, layers: Sequence[LayerPredictorWeights],
+                 decision_threshold: float = 0.5):
+        if not layers:
+            raise ValueError("need at least one layer predictor")
+        self.layers = list(layers)
+        self.decision_threshold = decision_threshold
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    @property
+    def nbytes(self) -> int:
+        """FP16 resident footprint (Section V-A.2 comparison)."""
+        return sum(l.nbytes_fp16 for l in self.layers)
+
+    def predict(self, layer: int, x: np.ndarray) -> np.ndarray:
+        """Boolean skip mask (True = predicted sparse) for one vector."""
+        logits = self.layers[layer].scores(x)
+        probs = 1.0 / (1.0 + np.exp(-logits))
+        return probs > self.decision_threshold
+
+    def with_threshold(self, threshold: float) -> "DejaVuPredictor":
+        return DejaVuPredictor(self.layers, threshold)
+
+
+def group_traces_by_layer(traces: Sequence[MLPTrace],
+                          n_layers: int) -> list:
+    """Split a trace stream into per-layer (X, sparse-mask) training sets."""
+    xs: list = [[] for _ in range(n_layers)]
+    ys: list = [[] for _ in range(n_layers)]
+    for trace in traces:
+        xs[trace.layer].append(trace.x)
+        ys[trace.layer].append(trace.gate_preact <= 0.0)
+    out = []
+    for layer in range(n_layers):
+        if not xs[layer]:
+            raise ValueError(f"no traces collected for layer {layer}")
+        out.append(
+            (np.stack(xs[layer]), np.stack(ys[layer]).astype(np.float32))
+        )
+    return out
+
+
+def train_dejavu_predictor(
+    traces: Sequence[MLPTrace],
+    n_layers: int,
+    config: Optional[DejaVuTrainConfig] = None,
+    seed: int = 0,
+) -> DejaVuPredictor:
+    """Train one FC predictor per layer from dense-engine traces.
+
+    This is exactly the overhead SparseInfer eliminates: a per-model,
+    per-quantisation training run plus resident predictor weights.
+    """
+    config = config or DejaVuTrainConfig()
+    datasets = group_traces_by_layer(traces, n_layers)
+    rng = np.random.default_rng(seed)
+    layer_weights = []
+    for layer, (x_all, y_all) in enumerate(datasets):
+        d = x_all.shape[1]
+        k = y_all.shape[1]
+        a = parameter((d, config.rank), rng, 0.05, f"dejavu{layer}.a")
+        b = parameter((config.rank, k), rng, 0.05, f"dejavu{layer}.b")
+        optimizer = Adam([a, b], lr=config.lr)
+        n = x_all.shape[0]
+        for step in range(config.steps):
+            idx = rng.integers(0, n, size=min(config.batch_size, n))
+            xb = Tensor(x_all[idx])
+            logits = (xb @ a).relu() @ b
+            loss = _bce_with_logits(logits, y_all[idx])
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            del step
+        layer_weights.append(
+            LayerPredictorWeights(a=a.data.copy(), b=b.data.copy())
+        )
+    return DejaVuPredictor(layer_weights, config.decision_threshold)

@@ -1,0 +1,12 @@
+"""The llama.cpp-role dense baseline (re-exported for discoverability).
+
+All GEMVs dense, every token; the reference point of every speedup
+number in the paper.
+"""
+
+from __future__ import annotations
+
+from ..core.engine import dense_engine
+from ..model.mlp import DenseMLP
+
+__all__ = ["dense_engine", "DenseMLP"]

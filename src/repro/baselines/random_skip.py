@@ -1,0 +1,51 @@
+"""Random-skip baseline (paper Section V-C, in-text).
+
+"Note that random selection with the 90% activation sparsity, instead of
+the prediction, resulted in 0% accuracy."  This executor reproduces that
+control: skip a uniformly random subset of gate rows at the model's
+nominal sparsity level, destroying the correlation between skipped rows
+and actually-dead neurons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..model.mlp import MLPStats, activation_fn
+from ..model.weights import ModelWeights
+
+
+@dataclass
+class RandomSkipMLP:
+    """Skips a random ``skip_fraction`` of rows per call."""
+
+    weights: ModelWeights
+    skip_fraction: float = 0.9
+    seed: int = 0
+    stats: MLPStats = field(default_factory=MLPStats)
+
+    def __post_init__(self):
+        if not 0.0 <= self.skip_fraction <= 1.0:
+            raise ValueError(
+                f"skip_fraction must be in [0,1], got {self.skip_fraction}"
+            )
+        cfg = self.weights.config
+        self._act = activation_fn(cfg.activation, cfg.fatrelu_threshold)
+        self._rng = np.random.default_rng(self.seed)
+
+    def run(self, layer: int, x: np.ndarray) -> np.ndarray:
+        lw = self.weights.layers[layer]
+        k = lw.w_gate_rows.shape[0]
+        live = np.flatnonzero(self._rng.random(k) >= self.skip_fraction)
+        h1 = self._act(lw.w_gate_rows[live] @ x)
+        h3 = h1 * (lw.w_up_rows[live] @ x)
+        out = h3 @ lw.w_down_rows[live]
+        self.stats.calls += 1
+        self.stats.rows_total += k
+        skipped = k - len(live)
+        self.stats.rows_skipped_gate += skipped
+        self.stats.rows_skipped_up += skipped
+        self.stats.rows_skipped_down += skipped
+        return out.astype(np.float32)

@@ -1,0 +1,104 @@
+"""TEAL-style training-free magnitude sparsification (paper Section II).
+
+TEAL ("Training-free activation sparsity in large language models")
+extends CATS-style thresholding from the FFN to the *attention* block:
+low-magnitude entries of the activation vectors entering each projection
+are zeroed, so the matching weight *columns* need not be read.  Unlike
+SparseInfer this sparsifies inputs (columns) rather than outputs (rows)
+and keeps SiLU, trading lower reachable sparsity for zero fine-tuning.
+
+We implement the input-sparsification operator, per-projection threshold
+calibration from traces, and a cost hook so the ablation bench can place
+TEAL on the same roofline as SparseInfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..model.mlp import MLPStats, activation_fn
+from ..model.weights import ModelWeights
+
+
+def sparsify_input(x: np.ndarray, threshold: float) -> np.ndarray:
+    """Zero entries with magnitude below ``threshold`` (TEAL's operator)."""
+    if threshold < 0:
+        raise ValueError(f"threshold must be non-negative, got {threshold}")
+    return np.where(np.abs(x) >= threshold, x, 0.0)
+
+
+def input_threshold_for_sparsity(
+    samples: np.ndarray, target_sparsity: float
+) -> float:
+    """Magnitude quantile achieving ``target_sparsity`` zeros."""
+    if not 0.0 < target_sparsity < 1.0:
+        raise ValueError(
+            f"target_sparsity must be in (0,1), got {target_sparsity}"
+        )
+    return float(np.quantile(np.abs(samples), target_sparsity))
+
+
+@dataclass
+class TealMLP:
+    """MLP executor with TEAL input sparsification.
+
+    The MLP input ``x`` is thresholded once; zeroed positions make the
+    matching *columns* of Wgate/Wup dead, which a column-skipping kernel
+    exploits.  Gate outputs are computed (SiLU keeps them dense-ish), and
+    exact zeros of ``h3`` are skipped in the down projection.
+    """
+
+    weights: ModelWeights
+    input_thresholds: np.ndarray    # (n_layers,)
+    stats: MLPStats = field(default_factory=MLPStats)
+    # Column-skip accounting (TEAL skips columns, not rows).
+    cols_total: int = 0
+    cols_skipped: int = 0
+
+    def __post_init__(self):
+        cfg = self.weights.config
+        if len(self.input_thresholds) != cfg.n_layers:
+            raise ValueError(
+                f"{len(self.input_thresholds)} thresholds for "
+                f"{cfg.n_layers} layers"
+            )
+        self._act = activation_fn(cfg.activation, cfg.fatrelu_threshold)
+
+    @property
+    def column_skip_fraction(self) -> float:
+        return self.cols_skipped / self.cols_total if self.cols_total else 0.0
+
+    def run(self, layer: int, x: np.ndarray) -> np.ndarray:
+        lw = self.weights.layers[layer]
+        k = lw.w_gate_rows.shape[0]
+        x_sparse = sparsify_input(x, float(self.input_thresholds[layer]))
+        live_cols = np.flatnonzero(x_sparse != 0.0)
+        # Column-skipping GEMV: only live input columns contribute.
+        h1 = self._act(lw.w_gate_rows[:, live_cols] @ x_sparse[live_cols])
+        h2 = lw.w_up_rows[:, live_cols] @ x_sparse[live_cols]
+        h3 = h1 * h2
+        live_rows = np.flatnonzero(h3 != 0.0)
+        out = h3[live_rows] @ lw.w_down_rows[live_rows]
+        self.stats.calls += 1
+        self.stats.rows_total += k
+        self.stats.rows_skipped_down += k - len(live_rows)
+        self.cols_total += x.shape[0]
+        self.cols_skipped += x.shape[0] - len(live_cols)
+        return out.astype(np.float32)
+
+
+def calibrate_input_thresholds(
+    mlp_inputs_per_layer: Sequence[np.ndarray],
+    target_sparsity: float,
+) -> np.ndarray:
+    """Per-layer thresholds from stacks of recorded MLP inputs."""
+    return np.array(
+        [
+            input_threshold_for_sparsity(np.asarray(x), target_sparsity)
+            for x in mlp_inputs_per_layer
+        ],
+        dtype=np.float64,
+    )

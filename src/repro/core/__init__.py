@@ -1,0 +1,22 @@
+"""The paper's contribution: training-free activation-sparsity prediction.
+
+* :mod:`repro.core.signpack` -- sign-bit packing / XOR / popcount.
+* :mod:`repro.core.predictor` -- the Eq. (2) majority-sign predictor.
+* :mod:`repro.core.alpha` -- per-layer conservativeness schedules.
+* :mod:`repro.core.sparse_mlp` -- sparse MLP executor (+AS semantics).
+* :mod:`repro.core.engine` -- end-to-end SparseInfer decode engine.
+* :mod:`repro.core.metrics` -- precision/recall of skip predictions.
+* :mod:`repro.core.dse` -- design-space exploration over alpha/devices.
+"""
+
+from .alpha import AlphaSchedule, calibrate_alpha
+from .engine import SparseInferSettings, build_engine, build_predictor, dense_engine
+from .metrics import PredictionQuality, evaluate_skip_prediction, sparsity
+from .predictor import (
+    LayerPrediction,
+    SparseInferPredictor,
+    predict_skip_from_counts,
+    true_skip_mask,
+)
+from .signpack import PackedSigns, pack_signs, popcount, unpack_signs, xor_popcount
+from .sparse_mlp import SparseInferMLP

@@ -1,0 +1,114 @@
+"""Trace-driven calibration of the alpha schedule.
+
+Paper Section IV-A: "The optimal value for alpha can be easily calibrated
+through test runs as the model changes."  This module performs those test
+runs: collect MLP traces from a short dense decode of calibration
+prompts, measure per-layer precision across an alpha grid, and pick the
+smallest alpha that reaches a precision target per layer (falling back to
+the paper's empirical 1.01-1.03 band for early layers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..model.inference import InferenceModel, MLPTrace
+from ..model.tokenizer import CharTokenizer
+from ..model.weights import ModelWeights
+from .alpha import AlphaSchedule
+from .metrics import evaluate_skip_prediction
+from .predictor import predict_skip_from_counts, true_skip_mask
+from .signpack import PackedSigns, pack_signs
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Chosen schedule plus the measured precision grid behind it."""
+
+    schedule: AlphaSchedule
+    precision_grid: dict      # (layer, alpha) -> precision
+    target_precision: float
+
+    def precision(self, layer: int, alpha: float) -> float:
+        return self.precision_grid[(layer, float(alpha))]
+
+
+def collect_calibration_traces(
+    weights: ModelWeights,
+    tokenizer: CharTokenizer,
+    prompts: Sequence[str],
+    max_new_tokens: int = 4,
+) -> list:
+    """Short dense decodes over calibration prompts, traces recorded."""
+    if not prompts:
+        raise ValueError("need at least one calibration prompt")
+    engine = InferenceModel(weights, trace_mlp_inputs=True)
+    for prompt in prompts:
+        engine.reset()
+        engine.generate(tokenizer.encode(prompt, add_bos=True),
+                        max_new_tokens)
+    return engine.traces
+
+
+def measure_precision_grid(
+    traces: Sequence[MLPTrace],
+    gate_matrices: Sequence[np.ndarray],
+    alphas: Sequence[float],
+) -> dict:
+    """Pooled skip-prediction precision per (layer, alpha)."""
+    if not traces:
+        raise ValueError("no traces supplied")
+    packed = [PackedSigns.from_matrix(w) for w in gate_matrices]
+    # Pre-pack inputs once; reuse across the alpha grid.
+    per_layer: dict = {}
+    for trace in traces:
+        p = packed[trace.layer]
+        counts = p.negative_counts_packed(pack_signs(trace.x))
+        actual = true_skip_mask(trace.gate_preact)
+        per_layer.setdefault(trace.layer, []).append((counts, actual, p))
+    grid: dict = {}
+    for layer, entries in per_layer.items():
+        for alpha in alphas:
+            pooled = None
+            for counts, actual, p in entries:
+                predicted = predict_skip_from_counts(
+                    counts, p.padded_bits, alpha
+                )
+                q = evaluate_skip_prediction(predicted, actual)
+                pooled = q if pooled is None else pooled.merge(q)
+            grid[(layer, float(alpha))] = pooled.precision
+    return grid
+
+
+def calibrate_schedule(
+    weights: ModelWeights,
+    tokenizer: CharTokenizer,
+    prompts: Sequence[str],
+    target_precision: float = 0.99,
+    alphas: Sequence[float] = (1.0, 1.01, 1.02, 1.03, 1.05, 1.1),
+    max_new_tokens: int = 4,
+) -> CalibrationResult:
+    """End-to-end calibration: trace, measure, choose per-layer alpha."""
+    traces = collect_calibration_traces(
+        weights, tokenizer, prompts, max_new_tokens
+    )
+    grid = measure_precision_grid(
+        traces, weights.gate_matrices(), alphas
+    )
+    ordered = sorted(float(a) for a in alphas)
+    chosen = []
+    for layer in range(weights.config.n_layers):
+        pick = ordered[-1]
+        for alpha in ordered:
+            if grid[(layer, alpha)] >= target_precision:
+                pick = alpha
+                break
+        chosen.append(pick)
+    return CalibrationResult(
+        schedule=AlphaSchedule.from_values(chosen),
+        precision_grid=grid,
+        target_precision=target_precision,
+    )

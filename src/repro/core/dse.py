@@ -1,0 +1,96 @@
+"""Design-space exploration over the predictor's conservativeness knob.
+
+The paper positions alpha as "an important control knob for design space
+exploration (DSE) in optimizing LLM inference, given the target platform,
+the model, and the downstream task."  This module sweeps alpha (and
+optionally devices), producing (latency, prediction-precision) operating
+points and their Pareto front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..eval.latency import measure_sparsity
+from ..eval.precision_recall import figure3_synthetic
+from ..gpu.device import DeviceSpec, jetson_orin_agx_64gb
+from ..gpu.pipeline import EngineSpec, decode_latency, dense_engine
+from ..model.config import ModelConfig
+from ..model.synthetic import SyntheticActivationModel
+
+
+@dataclass(frozen=True)
+class DSEPoint:
+    """One operating point of the (speed, fidelity) trade-off."""
+
+    alpha: float
+    device_name: str
+    seconds_per_token: float
+    speedup_over_dense: float
+    mean_precision: float
+    mean_recall: float
+    mean_predicted_skip: float
+
+    @property
+    def tokens_per_second(self) -> float:
+        return 1.0 / self.seconds_per_token
+
+
+def sweep(
+    config: ModelConfig,
+    alphas: Sequence[float] = (1.0, 1.01, 1.02, 1.03, 1.05, 1.1),
+    device: Optional[DeviceSpec] = None,
+    seed: int = 0,
+    seq_len: int = 700,
+    n_tokens: int = 6,
+    n_rows: int = 384,
+) -> list:
+    """Alpha sweep on one device: latency from the GPU model, fidelity
+    (precision/recall) from the synthetic activation model."""
+    device = device or jetson_orin_agx_64gb()
+    model = SyntheticActivationModel(config, seed=seed)
+    base = decode_latency(config, dense_engine(), device, seq_len=seq_len)
+    spec = EngineSpec(kind="sparseinfer", kernel_fusion=True,
+                      actual_sparsity=True)
+    points = []
+    for alpha in alphas:
+        measured = measure_sparsity(
+            model, alpha, n_tokens=n_tokens, n_rows=n_rows
+        )
+        report = decode_latency(
+            config, spec, device, measured.profile(), seq_len=seq_len
+        )
+        quality = figure3_synthetic(
+            model, alpha=alpha, n_tokens=n_tokens, n_rows=n_rows
+        )
+        points.append(
+            DSEPoint(
+                alpha=float(alpha),
+                device_name=device.name,
+                seconds_per_token=report.seconds_per_token,
+                speedup_over_dense=report.speedup_over(base),
+                mean_precision=float(np.mean([q.precision for q in quality])),
+                mean_recall=float(np.mean([q.recall for q in quality])),
+                mean_predicted_skip=float(measured.predicted_skip.mean()),
+            )
+        )
+    return points
+
+
+def pareto_front(points: Sequence[DSEPoint]) -> list:
+    """Points not dominated in (faster, more precise) space."""
+    front = []
+    for p in points:
+        dominated = any(
+            (q.seconds_per_token <= p.seconds_per_token
+             and q.mean_precision >= p.mean_precision
+             and (q.seconds_per_token < p.seconds_per_token
+                  or q.mean_precision > p.mean_precision))
+            for q in points
+        )
+        if not dominated:
+            front.append(p)
+    return sorted(front, key=lambda p: p.seconds_per_token)

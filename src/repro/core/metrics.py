@@ -1,0 +1,107 @@
+"""Prediction-quality metrics for activation-sparsity predictors.
+
+Definitions follow paper Section IV-A (Fig. 3):
+
+* *precision* -- of the elements predicted sparse, the fraction that are
+  actually sparse.  Low precision means live rows get skipped, which is
+  what damages downstream accuracy.
+* *recall* -- of the actually-sparse elements, the fraction the predictor
+  identified.  Low recall means wasted work (rows computed that end up
+  zero), which costs speed but not accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PredictionQuality:
+    """Confusion-matrix summary of skip predictions against ground truth."""
+
+    true_positive: int
+    false_positive: int
+    true_negative: int
+    false_negative: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positive
+            + self.false_positive
+            + self.true_negative
+            + self.false_negative
+        )
+
+    @property
+    def precision(self) -> float:
+        """P(actually sparse | predicted sparse); 1.0 when nothing predicted."""
+        denom = self.true_positive + self.false_positive
+        return self.true_positive / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        """P(predicted sparse | actually sparse); 1.0 when nothing is sparse."""
+        denom = self.true_positive + self.false_negative
+        return self.true_positive / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def actual_sparsity(self) -> float:
+        """Fraction of elements that are truly sparse."""
+        return (self.true_positive + self.false_negative) / self.total if self.total else 0.0
+
+    @property
+    def predicted_sparsity(self) -> float:
+        """Fraction of elements the predictor marked sparse."""
+        return (self.true_positive + self.false_positive) / self.total if self.total else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return (self.true_positive + self.true_negative) / self.total if self.total else 1.0
+
+    def merge(self, other: "PredictionQuality") -> "PredictionQuality":
+        """Pool confusion counts across tokens/samples."""
+        return PredictionQuality(
+            true_positive=self.true_positive + other.true_positive,
+            false_positive=self.false_positive + other.false_positive,
+            true_negative=self.true_negative + other.true_negative,
+            false_negative=self.false_negative + other.false_negative,
+        )
+
+
+def evaluate_skip_prediction(
+    predicted: np.ndarray, actual: np.ndarray
+) -> PredictionQuality:
+    """Confusion counts of a predicted skip mask against the true mask.
+
+    Both arguments are boolean arrays of identical shape where ``True``
+    marks a sparse (skippable) element.
+    """
+    predicted = np.asarray(predicted, dtype=bool)
+    actual = np.asarray(actual, dtype=bool)
+    if predicted.shape != actual.shape:
+        raise ValueError(
+            f"shape mismatch: predicted {predicted.shape} vs actual {actual.shape}"
+        )
+    tp = int(np.count_nonzero(predicted & actual))
+    fp = int(np.count_nonzero(predicted & ~actual))
+    fn = int(np.count_nonzero(~predicted & actual))
+    tn = int(np.count_nonzero(~predicted & ~actual))
+    return PredictionQuality(
+        true_positive=tp, false_positive=fp, true_negative=tn, false_negative=fn
+    )
+
+
+def sparsity(values: np.ndarray, threshold: float = 0.0) -> float:
+    """Fraction of entries with magnitude <= ``threshold`` (default: zeros)."""
+    values = np.asarray(values)
+    if values.size == 0:
+        return 0.0
+    return float(np.count_nonzero(np.abs(values) <= threshold) / values.size)

@@ -1,0 +1,199 @@
+"""The SparseInfer training-free activation-sparsity predictor.
+
+Implements the decision rule of paper Eq. (2): a gate row ``i`` is
+predicted *sparse* (``ReLU(X . Wgate[i]) == 0``, so the row can be skipped)
+iff
+
+    alpha * Npos < Nneg
+
+where ``Nneg`` is the XOR+popcount estimate of how many of the ``d``
+element-wise products are negative and ``Npos = total_bits - Nneg``.
+
+Fixed-point form (matching the CUDA kernel's integer arithmetic with
+``alpha`` scaled by 100):
+
+    100 * Nneg > alpha_pct * Npos
+
+Note on the paper's Listing 1: line 12 of the listing sets ``skip[row]=0``
+when ``count*100 - (ncols*32 - count)*alpha > 0``, i.e. it *keeps* the row
+exactly when the negative count dominates -- the opposite of Eq. (2) and of
+the prose.  We treat the listing's flag polarity as a typo and implement
+Eq. (2); see DESIGN.md section 5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .alpha import ALPHA_SCALE, AlphaSchedule, alpha_to_fixed_point
+from .signpack import PackedSigns, pack_signs
+
+
+def predict_skip_from_counts(
+    n_neg: np.ndarray,
+    total_bits: int,
+    alpha: float = 1.0,
+) -> np.ndarray:
+    """Vectorised Eq. (2) decision from per-row negative counts.
+
+    Parameters
+    ----------
+    n_neg:
+        ``Nneg`` per row (int array, shape ``(k,)``).
+    total_bits:
+        Number of bit positions compared per row.  The CUDA kernel uses the
+        padded ``ncols * 32``; real LLM dims are multiples of 32 so the two
+        coincide.  Padding bits are packed as positive, inflating ``Npos``
+        and therefore erring on the conservative (keep) side.
+    alpha:
+        Conservativeness knob; quantised to the kernel's x100 fixed point.
+
+    Returns
+    -------
+    Boolean array, ``True`` where the row is predicted sparse (skippable).
+    """
+    n_neg = np.asarray(n_neg, dtype=np.int64)
+    if total_bits <= 0:
+        raise ValueError(f"total_bits must be positive, got {total_bits}")
+    alpha_pct = alpha_to_fixed_point(alpha)
+    n_pos = total_bits - n_neg
+    return ALPHA_SCALE * n_neg > alpha_pct * n_pos
+
+
+@dataclass(frozen=True)
+class LayerPrediction:
+    """Result of one layer's sparsity prediction."""
+
+    skip: np.ndarray          # bool (k,) - True = predicted sparse
+    n_neg: np.ndarray         # int64 (k,) - XOR+popcount negative estimates
+    alpha: float
+
+    @property
+    def predicted_sparsity(self) -> float:
+        """Fraction of rows predicted skippable."""
+        return float(self.skip.mean()) if self.skip.size else 0.0
+
+
+class SparseInferPredictor:
+    """Training-free sparsity predictor over the gate matrices of a model.
+
+    Holds the packed sign bits of every layer's ``Wgate`` (built once, the
+    paper's offline step 1) and an :class:`AlphaSchedule`.  At decode time,
+    :meth:`predict` packs the sign bits of the incoming activation vector
+    and applies the XOR+popcount majority test.
+
+    Parameters
+    ----------
+    packed_gates:
+        One :class:`PackedSigns` per decoder layer.
+    schedule:
+        Per-layer alpha values; defaults to uniform 1.0.
+    """
+
+    def __init__(
+        self,
+        packed_gates: Sequence[PackedSigns],
+        schedule: Optional[AlphaSchedule] = None,
+    ):
+        self._packed = list(packed_gates)
+        if not self._packed:
+            raise ValueError("need at least one layer")
+        widths = {p.n_elements for p in self._packed}
+        if len(widths) != 1:
+            raise ValueError(f"all layers must share the model width, got {widths}")
+        if schedule is None:
+            schedule = AlphaSchedule.uniform(1.0, len(self._packed))
+        if schedule.n_layers != len(self._packed):
+            raise ValueError(
+                f"schedule has {schedule.n_layers} layers, model has {len(self._packed)}"
+            )
+        self.schedule = schedule
+
+    @classmethod
+    def from_gate_weights(
+        cls,
+        gate_weights: Sequence[np.ndarray],
+        schedule: Optional[AlphaSchedule] = None,
+    ) -> "SparseInferPredictor":
+        """Build from per-layer ``(k, d)`` gate matrices (offline packing)."""
+        return cls([PackedSigns.from_matrix(w) for w in gate_weights], schedule)
+
+    @property
+    def n_layers(self) -> int:
+        return len(self._packed)
+
+    @property
+    def d_model(self) -> int:
+        return self._packed[0].n_elements
+
+    def packed_gate(self, layer: int) -> PackedSigns:
+        return self._packed[layer]
+
+    @property
+    def nbytes(self) -> int:
+        """Total predictor memory footprint (Section V-A.2)."""
+        return sum(p.nbytes for p in self._packed)
+
+    def with_schedule(self, schedule: AlphaSchedule) -> "SparseInferPredictor":
+        """Same packed weights under a different alpha schedule (cheap)."""
+        return SparseInferPredictor(self._packed, schedule)
+
+    def predict(
+        self,
+        layer: int,
+        x: np.ndarray,
+        alpha: Optional[float] = None,
+    ) -> LayerPrediction:
+        """Predict the skip mask for layer ``layer`` given input ``x``.
+
+        ``x`` is the unpacked ``(d,)`` activation vector entering the MLP
+        block; its sign bits are packed on the fly (the online half of the
+        paper's Section IV-B.1).  ``alpha`` overrides the schedule when
+        given (used by DSE sweeps).
+        """
+        packed = self._packed[layer]
+        x = np.asarray(x)
+        if x.shape != (packed.n_elements,):
+            raise ValueError(
+                f"expected x of shape ({packed.n_elements},), got {x.shape}"
+            )
+        if alpha is None:
+            alpha = self.schedule[layer]
+        n_neg = packed.negative_counts_packed(pack_signs(x))
+        skip = predict_skip_from_counts(n_neg, packed.padded_bits, alpha)
+        return LayerPrediction(skip=skip, n_neg=n_neg, alpha=float(alpha))
+
+    def predict_batch(
+        self,
+        layer: int,
+        xs: np.ndarray,
+        alpha: Optional[float] = None,
+    ) -> np.ndarray:
+        """Skip masks for a batch of inputs, shape ``(n, d)`` -> ``(n, k)``.
+
+        Convenience for offline precision/recall measurement; decoding
+        itself is one token (one vector) at a time.
+        """
+        xs = np.atleast_2d(np.asarray(xs))
+        packed = self._packed[layer]
+        if alpha is None:
+            alpha = self.schedule[layer]
+        packed_xs = pack_signs(xs)                       # (n, nwords)
+        # (n, k) negative counts via broadcasting XOR per sample.
+        out = np.empty((xs.shape[0], packed.n_rows), dtype=bool)
+        for i in range(xs.shape[0]):
+            n_neg = packed.negative_counts_packed(packed_xs[i])
+            out[i] = predict_skip_from_counts(n_neg, packed.padded_bits, alpha)
+        return out
+
+
+def true_skip_mask(gate_preact: np.ndarray) -> np.ndarray:
+    """Ground-truth sparsity: rows whose ReLU input is non-positive.
+
+    ``ReLU(z) == 0`` iff ``z <= 0``; FATReLU variants use a positive
+    threshold instead (see :mod:`repro.train.prosparse`).
+    """
+    return np.asarray(gate_preact) <= 0.0

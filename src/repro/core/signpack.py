@@ -1,0 +1,180 @@
+"""Sign-bit packing and popcount primitives.
+
+SparseInfer's predictor (paper Section IV-A / IV-B.1) operates only on the
+sign bits (MSBs) of the gate weight matrix ``Wgate`` and the input vector
+``X``.  The CUDA implementation packs the sign bits of 32 consecutive
+elements into one 32-bit word at model-load time and XORs the packed words
+at predict time, counting set bits with ``__popc``.
+
+This module is the numpy equivalent: vectorised packing, XOR and popcount.
+
+Bit convention
+--------------
+Bit ``j`` of word ``w`` holds the sign of element ``w * 32 + j`` (little-end
+bit order within a word).  A set bit means *negative* (``numpy.signbit``),
+matching the MSB of an IEEE-754 float.  When the row length ``d`` is not a
+multiple of 32 the trailing padding bits are left **zero** (positive), which
+can only make the predictor *more conservative* (more apparent positives,
+fewer skips) -- see DESIGN.md section 5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+WORD_BITS = 32
+
+# Number of set bits for every byte value; used for vectorised popcount.
+_POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
+
+def words_per_row(n_elements: int) -> int:
+    """Number of 32-bit words needed to hold ``n_elements`` sign bits."""
+    if n_elements < 0:
+        raise ValueError(f"n_elements must be non-negative, got {n_elements}")
+    return (n_elements + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_signs(values: np.ndarray) -> np.ndarray:
+    """Pack the sign bits of ``values`` along the last axis into uint32 words.
+
+    Parameters
+    ----------
+    values:
+        Float array of shape ``(..., d)``.  Any float dtype works; only
+        ``numpy.signbit`` is consulted, so the packing is identical for
+        FP32, FP16 or dequantised INT8 data (the quantisation-robustness
+        property of the paper).
+
+    Returns
+    -------
+    ``uint32`` array of shape ``(..., words_per_row(d))``.
+    """
+    values = np.asarray(values)
+    if values.ndim == 0:
+        raise ValueError("pack_signs expects at least a 1-D array")
+    d = values.shape[-1]
+    nwords = words_per_row(d)
+    bits = np.signbit(values)
+    pad = nwords * WORD_BITS - d
+    if pad:
+        pad_shape = values.shape[:-1] + (pad,)
+        bits = np.concatenate([bits, np.zeros(pad_shape, dtype=bool)], axis=-1)
+    packed_bytes = np.packbits(bits, axis=-1, bitorder="little")
+    shape = values.shape[:-1] + (nwords,)
+    return (
+        np.ascontiguousarray(packed_bytes)
+        .view(np.uint32)
+        .reshape(shape)
+    )
+
+
+def unpack_signs(words: np.ndarray, n_elements: int) -> np.ndarray:
+    """Inverse of :func:`pack_signs`: boolean sign array (True = negative)."""
+    words = np.asarray(words, dtype=np.uint32)
+    if words.shape[-1] != words_per_row(n_elements):
+        raise ValueError(
+            f"expected {words_per_row(n_elements)} words per row for "
+            f"{n_elements} elements, got {words.shape[-1]}"
+        )
+    as_bytes = np.ascontiguousarray(words).view(np.uint8)
+    bits = np.unpackbits(as_bytes, axis=-1, bitorder="little")
+    return bits[..., :n_elements].astype(bool)
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Element-wise population count of a uint32 array.
+
+    Vectorised equivalent of CUDA ``__popc``: each 32-bit word is viewed as
+    four bytes and summed through an 8-bit lookup table.
+    """
+    words = np.ascontiguousarray(np.asarray(words, dtype=np.uint32))
+    as_bytes = words.view(np.uint8).reshape(words.shape + (4,))
+    return _POPCOUNT8[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+def xor_popcount(packed_rows: np.ndarray, packed_x: np.ndarray) -> np.ndarray:
+    """Predicted count of negative products per row (``Nneg`` in the paper).
+
+    ``packed_rows`` has shape ``(k, nwords)`` (one row per gate neuron) and
+    ``packed_x`` shape ``(nwords,)``.  Returns an ``int64`` array of shape
+    ``(k,)`` holding, for each row ``i``, the number of element positions
+    where ``sign(Wgate[i, j]) != sign(X[j])`` -- i.e. where the product
+    ``X[j] * Wgate[i, j]`` is predicted negative.
+    """
+    packed_rows = np.asarray(packed_rows, dtype=np.uint32)
+    packed_x = np.asarray(packed_x, dtype=np.uint32)
+    if packed_rows.shape[-1] != packed_x.shape[-1]:
+        raise ValueError(
+            f"word-count mismatch: rows have {packed_rows.shape[-1]} words, "
+            f"x has {packed_x.shape[-1]}"
+        )
+    return popcount(packed_rows ^ packed_x).sum(axis=-1)
+
+
+def exact_negative_products(rows: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Reference implementation of ``Nneg`` from unpacked floats.
+
+    Counts positions where the element-wise product sign differs, using
+    ``signbit`` semantics identical to the packed path.  Used by tests to
+    verify :func:`xor_popcount`.
+    """
+    rows = np.asarray(rows)
+    x = np.asarray(x)
+    return (np.signbit(rows) ^ np.signbit(x)).sum(axis=-1, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class PackedSigns:
+    """Packed sign bits of one weight matrix, produced at model-load time.
+
+    Mirrors the paper's offline pre-fetch step (Section IV-B.1): the sign
+    bits of ``Wgate`` are extracted once when the model is loaded so the
+    decode-phase predictor never touches the full-precision weights.
+
+    Attributes
+    ----------
+    words:
+        ``uint32`` array of shape ``(k, nwords)``.
+    n_elements:
+        Logical row length ``d`` before padding.
+    """
+
+    words: np.ndarray
+    n_elements: int
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray) -> "PackedSigns":
+        """Pack a ``(k, d)`` weight matrix row-wise."""
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+        return cls(words=pack_signs(matrix), n_elements=matrix.shape[1])
+
+    @property
+    def n_rows(self) -> int:
+        return self.words.shape[0]
+
+    @property
+    def n_words(self) -> int:
+        return self.words.shape[1]
+
+    @property
+    def padded_bits(self) -> int:
+        """Total bit positions per row including padding (``ncols * 32``)."""
+        return self.n_words * WORD_BITS
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint in bytes (the paper's Section V-A.2 metric)."""
+        return self.words.nbytes
+
+    def negative_counts(self, x: np.ndarray) -> np.ndarray:
+        """``Nneg`` per row for an unpacked input vector ``x``."""
+        return self.negative_counts_packed(pack_signs(x))
+
+    def negative_counts_packed(self, packed_x: np.ndarray) -> np.ndarray:
+        """``Nneg`` per row for an already packed input vector."""
+        return xor_popcount(self.words, packed_x)

@@ -1,0 +1,108 @@
+"""SparseInfer's sparse MLP executor (paper Section IV).
+
+Functionally reproduces what the CUDA kernels do, on numpy:
+
+1. predict the gate-row skip mask from packed sign bits (step 2 of
+   Fig. 1),
+2. run the gate GEMV only over surviving rows and apply ReLU,
+3. **actual sparsity (+AS)**: rows the predictor kept but ReLU zeroed are
+   added to the skip set used by the up-projection and down-projection
+   (the union of predicted and actual sparsity, Section IV),
+4. run the up GEMV over the union's survivors, gate element-wise,
+5. run the down GEMV (transposed layout) over the final survivors.
+
+Kernel fusion changes memory traffic, not values, so the executor models
+it only in the work statistics; the GPU cost model (:mod:`repro.gpu`)
+prices it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..model.mlp import MLPStats, activation_fn
+from ..model.weights import ModelWeights
+from .alpha import AlphaSchedule
+from .predictor import SparseInferPredictor
+
+
+@dataclass
+class SparseInferMLP:
+    """MLP executor driven by the training-free sign-bit predictor.
+
+    Parameters
+    ----------
+    weights:
+        Model weights in inference layout.
+    predictor:
+        A :class:`SparseInferPredictor` built over this model's gate
+        matrices.  Built automatically when omitted.
+    schedule:
+        Per-layer alpha; overrides the predictor's schedule when given.
+    use_actual_sparsity:
+        The paper's +AS measure (on by default, as in the best Fig. 4
+        configuration).
+    """
+
+    weights: ModelWeights
+    predictor: Optional[SparseInferPredictor] = None
+    schedule: Optional[AlphaSchedule] = None
+    use_actual_sparsity: bool = True
+    stats: MLPStats = field(default_factory=MLPStats)
+
+    def __post_init__(self):
+        cfg = self.weights.config
+        if self.predictor is None:
+            self.predictor = SparseInferPredictor.from_gate_weights(
+                self.weights.gate_matrices(),
+                self.schedule,
+            )
+        elif self.schedule is not None:
+            self.predictor = self.predictor.with_schedule(self.schedule)
+        if self.predictor.n_layers != cfg.n_layers:
+            raise ValueError(
+                f"predictor covers {self.predictor.n_layers} layers, "
+                f"model has {cfg.n_layers}"
+            )
+        self._act = activation_fn(cfg.activation, cfg.fatrelu_threshold)
+
+    def run(self, layer: int, x: np.ndarray) -> np.ndarray:
+        lw = self.weights.layers[layer]
+        k = lw.w_gate_rows.shape[0]
+        prediction = self.predictor.predict(layer, x)
+        keep = ~prediction.skip
+
+        # Step 1 -- gate GEMV over surviving rows only.
+        h1_live = self._act(lw.w_gate_rows[keep] @ x)
+
+        # Actual sparsity: rows ReLU zeroed despite surviving prediction.
+        if self.use_actual_sparsity:
+            live_mask = np.zeros(k, dtype=bool)
+            live_idx = np.flatnonzero(keep)[h1_live != 0.0]
+            live_mask[live_idx] = True
+        else:
+            live_mask = keep
+
+        # Step 2 -- up GEMV over the (possibly tightened) survivor set.
+        h1 = np.zeros(k, dtype=np.float32)
+        h1[keep] = h1_live
+        live = np.flatnonzero(live_mask)
+        h3_live = h1[live] * (lw.w_up_rows[live] @ x)
+
+        # Step 4 -- down GEMV, transposed accumulate over final survivors.
+        down_live = live[h3_live != 0.0] if self.use_actual_sparsity else live
+        h3_final = h3_live[h3_live != 0.0] if self.use_actual_sparsity else h3_live
+        out = h3_final @ lw.w_down_rows[down_live]
+
+        self.stats.calls += 1
+        self.stats.rows_total += k
+        self.stats.rows_skipped_gate += int(prediction.skip.sum())
+        self.stats.rows_skipped_up += k - int(live_mask.sum())
+        self.stats.rows_skipped_down += k - len(down_live)
+        return out.astype(np.float32)
+
+    def reset_stats(self) -> None:
+        self.stats = MLPStats()

@@ -1,0 +1,1 @@
+"""Per-table/figure evaluation harnesses (see DESIGN.md experiment index)."""

@@ -1,0 +1,75 @@
+"""Generative exact-match evaluation driver (the lm-harness role).
+
+The paper evaluates with generation-based benchmarks (GSM8K, BBH) because
+SparseInfer sparsifies only the decoding phase, making log-likelihood
+scoring inadequate.  This harness mirrors that: prompts are prefilled
+(dense), answers are decoded greedily (through whichever MLP executor the
+engine carries), and accuracy is exact string match on the answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..model.inference import InferenceModel
+from ..model.tokenizer import CharTokenizer
+from ..workloads.gsm8k_like import TaskSample
+
+
+@dataclass(frozen=True)
+class SampleResult:
+    """Outcome of one evaluated problem."""
+
+    prompt: str
+    expected: str
+    generated: str
+
+    @property
+    def correct(self) -> bool:
+        return self.generated == self.expected
+
+
+@dataclass
+class EvalResult:
+    """Aggregate accuracy over a task set."""
+
+    task: str
+    results: list = field(default_factory=list)
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.results)
+
+    @property
+    def n_correct(self) -> int:
+        return sum(1 for r in self.results if r.correct)
+
+    @property
+    def accuracy(self) -> float:
+        """Exact-match accuracy in percent (paper-style)."""
+        return 100.0 * self.n_correct / self.n_samples if self.results else 0.0
+
+
+def evaluate(
+    engine: InferenceModel,
+    tokenizer: CharTokenizer,
+    samples: Sequence[TaskSample],
+    task: str = "task",
+    max_new_tokens: int = 6,
+) -> EvalResult:
+    """Run exact-match generative evaluation of ``engine`` on ``samples``."""
+    if not samples:
+        raise ValueError("no samples to evaluate")
+    result = EvalResult(task=task)
+    stop = {tokenizer.eos_id, tokenizer.pad_id}
+    for sample in samples:
+        prompt_ids = tokenizer.encode(sample.prompt, add_bos=True)
+        gen = engine.generate(prompt_ids, max_new_tokens, stop_ids=stop)
+        text = tokenizer.decode(gen.generated_ids)
+        result.results.append(
+            SampleResult(
+                prompt=sample.prompt, expected=sample.answer, generated=text
+            )
+        )
+    return result

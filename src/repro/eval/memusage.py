@@ -1,0 +1,52 @@
+"""Predictor memory-usage comparison (paper Section V-A.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.memory import (
+    MIB,
+    dejavu_predictor_bytes,
+    sparseinfer_predictor_bytes,
+)
+from ..model.config import ModelConfig
+
+
+@dataclass(frozen=True)
+class PredictorMemoryComparison:
+    """Section V-A.2: PowerInfer vs SparseInfer predictor footprints."""
+
+    model_name: str
+    powerinfer_bytes: float
+    sparseinfer_bytes: float
+
+    @property
+    def powerinfer_mib(self) -> float:
+        return self.powerinfer_bytes / MIB
+
+    @property
+    def sparseinfer_mib(self) -> float:
+        return self.sparseinfer_bytes / MIB
+
+    @property
+    def reduction_factor(self) -> float:
+        """The paper reports 4.38x for ProSparse-Llama2-13B."""
+        return self.powerinfer_bytes / self.sparseinfer_bytes
+
+
+def compare_predictor_memory(
+    config: ModelConfig, dejavu_rank: int = 1024
+) -> PredictorMemoryComparison:
+    return PredictorMemoryComparison(
+        model_name=config.name,
+        powerinfer_bytes=dejavu_predictor_bytes(config, dejavu_rank),
+        sparseinfer_bytes=sparseinfer_predictor_bytes(config),
+    )
+
+
+def format_comparison(cmp: PredictorMemoryComparison) -> str:
+    return (
+        f"{cmp.model_name}: PowerInfer predictor {cmp.powerinfer_mib:.1f} MiB, "
+        f"SparseInfer {cmp.sparseinfer_mib:.1f} MiB "
+        f"({cmp.reduction_factor:.2f}x less)"
+    )

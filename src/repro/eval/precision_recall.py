@@ -1,0 +1,102 @@
+"""Per-layer precision/recall of the sparsity prediction (paper Fig. 3).
+
+Two data paths:
+
+* :func:`figure3_synthetic` -- full-dimension statistical activation model
+  (true 7B/13B widths and depths), matching the paper's per-layer curves;
+* :func:`quality_from_traces` -- recorded MLP traces from a *trained* role
+  model, used to cross-check the synthetic results on a real network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.metrics import PredictionQuality, evaluate_skip_prediction
+from ..core.predictor import (
+    SparseInferPredictor,
+    predict_skip_from_counts,
+    true_skip_mask,
+)
+from ..core.signpack import PackedSigns, pack_signs
+from ..model.inference import MLPTrace
+from ..model.synthetic import SyntheticActivationModel
+
+
+@dataclass(frozen=True)
+class LayerQuality:
+    """Fig. 3 data point for one layer."""
+
+    layer: int
+    alpha: float
+    quality: PredictionQuality
+
+    @property
+    def precision(self) -> float:
+        return self.quality.precision
+
+    @property
+    def recall(self) -> float:
+        return self.quality.recall
+
+
+def layer_quality_synthetic(
+    model: SyntheticActivationModel,
+    layer: int,
+    alpha: float = 1.0,
+    n_tokens: int = 16,
+    n_rows: int = 768,
+) -> LayerQuality:
+    """Precision/recall of the sign predictor on one synthetic layer."""
+    sample = model.sample_layer(layer, n_tokens=n_tokens, n_rows=n_rows)
+    predictor = SparseInferPredictor.from_gate_weights([sample.w_gate])
+    predicted = predictor.predict_batch(0, sample.x, alpha=alpha)
+    quality = evaluate_skip_prediction(predicted, sample.true_sparse)
+    return LayerQuality(layer=layer, alpha=alpha, quality=quality)
+
+
+def figure3_synthetic(
+    model: SyntheticActivationModel,
+    alpha: float = 1.0,
+    n_tokens: int = 16,
+    n_rows: int = 768,
+    layers: Sequence[int] = (),
+) -> list:
+    """Fig. 3 curve across all (or selected) layers."""
+    layer_ids = list(layers) if layers else list(range(model.config.n_layers))
+    return [
+        layer_quality_synthetic(model, layer, alpha, n_tokens, n_rows)
+        for layer in layer_ids
+    ]
+
+
+def quality_from_traces(
+    traces: Sequence[MLPTrace],
+    gate_matrices: Sequence[np.ndarray],
+    alpha: float = 1.0,
+) -> list:
+    """Per-layer prediction quality from recorded dense-engine traces.
+
+    ``gate_matrices`` are the per-layer ``(k, d)`` gate weights of the
+    traced model; ``traces`` carry both the inputs and the exact
+    pre-activations, so predicted and true masks come from the same data.
+    """
+    packed = [PackedSigns.from_matrix(w) for w in gate_matrices]
+    pooled: dict = {}
+    for trace in traces:
+        p = packed[trace.layer]
+        n_neg = p.negative_counts_packed(pack_signs(trace.x))
+        predicted = predict_skip_from_counts(n_neg, p.padded_bits, alpha)
+        actual = true_skip_mask(trace.gate_preact)
+        q = evaluate_skip_prediction(predicted, actual)
+        if trace.layer in pooled:
+            pooled[trace.layer] = pooled[trace.layer].merge(q)
+        else:
+            pooled[trace.layer] = q
+    return [
+        LayerQuality(layer=layer, alpha=alpha, quality=pooled[layer])
+        for layer in sorted(pooled)
+    ]

@@ -1,0 +1,15 @@
+"""Analytical GPU roofline model of the paper's Jetson Orin testbed."""
+
+from .device import DeviceSpec, jetson_orin_agx_64gb, jetson_orin_nx_16gb, rtx_4090
+from .kernels import KernelCost
+from .memory import engine_memory
+from .pipeline import (
+    EngineSpec,
+    LatencyReport,
+    SparsityProfile,
+    decode_latency,
+    dense_engine,
+    powerinfer_engine,
+    sparseinfer_engine,
+)
+from .simulator import ConcurrentGroup, Timeline

@@ -1,0 +1,204 @@
+"""Batched-decoding analysis: how activation sparsity decays with batch.
+
+The paper (like PowerInfer and DejaVu) evaluates single-sequence decoding
+(batch = 1), where a skipped gate row saves its entire weight read.  With
+a decode batch of ``B`` sequences the row can only be skipped if *every*
+sequence in the batch predicts it sparse -- the exploitable skip set is
+the **intersection** across the batch, so the exploitable fraction decays
+roughly as ``skip^B`` for independent sequences (correlated activations
+decay slower; the ``correlation`` parameter interpolates).
+
+This module extends the roofline pipeline with batch-aware MLP costs so
+the DSE can answer "at what batch size does SparseInfer stop paying
+off?" -- the classic serving-vs-edge trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..model.config import ModelConfig
+from .device import DeviceSpec
+from .kernels import (
+    KernelCost,
+    attention_kernels,
+    dense_gemv,
+    elementwise_gate_kernel,
+    residual_add_kernel,
+    rmsnorm_kernel,
+    sign_pack_kernel,
+    sparse_gemv,
+    sparseinfer_predict_kernel,
+    lm_head_kernel,
+)
+from .pipeline import SparsityProfile
+from .simulator import Timeline
+
+
+def batch_skip_fraction(
+    single_skip: float, batch_size: int, correlation: float = 0.0
+) -> float:
+    """Exploitable skip fraction for a batch of ``batch_size`` sequences.
+
+    ``correlation = 0`` models independent sequences (intersection decays
+    as ``skip^B``); ``correlation = 1`` models perfectly aligned
+    activations (no decay).  Linear interpolation in between, matching
+    the empirical behaviour that co-batched continuations of similar
+    prompts share much of their live set.
+    """
+    if not 0.0 <= single_skip <= 1.0:
+        raise ValueError(f"single_skip out of range: {single_skip}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if not 0.0 <= correlation <= 1.0:
+        raise ValueError(f"correlation out of range: {correlation}")
+    independent = single_skip ** batch_size
+    return correlation * single_skip + (1.0 - correlation) * independent
+
+
+def _batched(kernel: KernelCost, batch_size: int) -> KernelCost:
+    """Scale a per-token kernel's activation traffic and compute by B.
+
+    Weight bytes are shared across the batch (the whole point of
+    batching); activation vectors and FLOPs scale linearly.  GEMV-family
+    kernels here carry weights in ``bytes_rowgather``/first-order
+    ``bytes_streamed``; we scale only compute and a nominal activation
+    term, which keeps the model simple and conservative.
+    """
+    return KernelCost(
+        name=kernel.name,
+        bytes_streamed=kernel.bytes_streamed,
+        bytes_gathered=kernel.bytes_gathered,
+        bytes_rowgather=kernel.bytes_rowgather,
+        gather_density=kernel.gather_density,
+        flops_cuda=kernel.flops_cuda * batch_size,
+        flops_tensor=kernel.flops_tensor * batch_size,
+        int_ops=kernel.int_ops * batch_size,
+        atomic_ops=kernel.atomic_ops * batch_size,
+        fp16=kernel.fp16,
+    )
+
+
+@dataclass(frozen=True)
+class BatchedLatencyPoint:
+    """One (batch size, engine) operating point."""
+
+    batch_size: int
+    seconds_per_step: float
+    exploited_skip: float
+
+    @property
+    def seconds_per_token(self) -> float:
+        return self.seconds_per_step / self.batch_size
+
+    @property
+    def tokens_per_second(self) -> float:
+        return self.batch_size / self.seconds_per_step
+
+
+def batched_decode_latency(
+    config: ModelConfig,
+    device: DeviceSpec,
+    batch_size: int,
+    profile: Optional[SparsityProfile] = None,
+    correlation: float = 0.0,
+    seq_len: int = 512,
+    host_overhead: float = 6.0e-3,
+) -> BatchedLatencyPoint:
+    """One decode step for a batch; dense when ``profile`` is None."""
+    d, k, dtype = config.d_model, config.d_ff, config.dtype_bytes
+    timeline = Timeline(fixed_overhead=host_overhead)
+    skips = []
+    for layer in range(config.n_layers):
+        timeline.add(_batched(rmsnorm_kernel(d, dtype), batch_size))
+        for kern in attention_kernels(d, config.n_heads, seq_len, dtype):
+            # KV-cache reads scale with batch (one cache per sequence).
+            scaled = KernelCost(
+                name=kern.name,
+                bytes_streamed=(
+                    kern.bytes_streamed * batch_size
+                    if kern.name == "attn_scores_softmax_wsum"
+                    else kern.bytes_streamed
+                ),
+                bytes_rowgather=kern.bytes_rowgather,
+                gather_density=kern.gather_density,
+                flops_cuda=kern.flops_cuda * batch_size,
+                fp16=kern.fp16,
+            )
+            timeline.add(scaled)
+        timeline.add(_batched(residual_add_kernel(d, dtype), batch_size))
+        timeline.add(_batched(rmsnorm_kernel(d, dtype), batch_size))
+        if profile is None:
+            timeline.add(_batched(dense_gemv("gate", k, d, dtype), batch_size))
+            timeline.add(_batched(dense_gemv("up", k, d, dtype), batch_size))
+            timeline.add(
+                _batched(elementwise_gate_kernel(k, 1.0, dtype), batch_size)
+            )
+            timeline.add(_batched(dense_gemv("down", d, k, dtype), batch_size))
+        else:
+            single = profile[layer]
+            skip_b = batch_skip_fraction(
+                single.union_skip, batch_size, correlation
+            )
+            skips.append(skip_b)
+            density = 1.0 - skip_b
+            timeline.add(_batched(sign_pack_kernel(d, dtype), batch_size))
+            timeline.add(
+                _batched(sparseinfer_predict_kernel(k, d), batch_size)
+            )
+            for name, rows, cols in (("gate", k, d), ("up", k, d)):
+                timeline.add(
+                    _batched(sparse_gemv(name, rows, cols, density, dtype),
+                             batch_size)
+                )
+            timeline.add(
+                _batched(elementwise_gate_kernel(k, density, dtype),
+                         batch_size)
+            )
+            timeline.add(
+                _batched(
+                    sparse_gemv("down", d, k, density, dtype,
+                                atomic_output=True),
+                    batch_size,
+                )
+            )
+        timeline.add(_batched(residual_add_kernel(d, dtype), batch_size))
+    timeline.add(_batched(rmsnorm_kernel(d, dtype), batch_size))
+    timeline.add(_batched(lm_head_kernel(d, config.vocab_size, dtype),
+                          batch_size))
+    return BatchedLatencyPoint(
+        batch_size=batch_size,
+        seconds_per_step=timeline.latency(device),
+        exploited_skip=float(np.mean(skips)) if skips else 0.0,
+    )
+
+
+def batch_sweep(
+    config: ModelConfig,
+    device: DeviceSpec,
+    profile: SparsityProfile,
+    batch_sizes: Sequence[int] = (1, 2, 4, 8, 16),
+    correlation: float = 0.0,
+    seq_len: int = 512,
+) -> list:
+    """Speedup of SparseInfer over dense at each batch size."""
+    out = []
+    for batch in batch_sizes:
+        dense = batched_decode_latency(
+            config, device, batch, None, seq_len=seq_len
+        )
+        sparse = batched_decode_latency(
+            config, device, batch, profile, correlation, seq_len=seq_len
+        )
+        out.append(
+            {
+                "batch_size": batch,
+                "dense": dense,
+                "sparse": sparse,
+                "speedup": dense.seconds_per_step / sparse.seconds_per_step,
+            }
+        )
+    return out

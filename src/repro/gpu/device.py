@@ -1,0 +1,125 @@
+"""Device models for the analytical GPU cost simulator.
+
+The paper's testbed is an NVIDIA Jetson Orin AGX 64GB (Ampere iGPU sharing
+LPDDR5 with the Cortex CPU).  Autoregressive decoding of a 7B/13B model is
+overwhelmingly memory-bandwidth bound, so a roofline model -- per-kernel
+latency = launch overhead + max(bytes / effective bandwidth, work /
+compute throughput) -- captures the latency *ratios* the paper reports.
+
+All throughput numbers come from the public Orin AGX spec sheet; the
+efficiency factors are calibration constants (documented in DESIGN.md) for
+achievable-vs-peak bandwidth and the penalty a row-gathering sparse GEMV
+pays relative to a streaming dense one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Roofline parameters of one GPU.
+
+    Attributes
+    ----------
+    dram_bandwidth:
+        Peak DRAM bandwidth in bytes/s.
+    cuda_flops_fp32 / cuda_flops_fp16:
+        Peak FMA throughput of the CUDA cores (FLOP/s).
+    cuda_int_ops:
+        Peak 32-bit bitwise/integer op throughput of the CUDA cores
+        (ops/s); XOR and ``__popc`` run here, not on tensor cores
+        (paper Section V-A.1).
+    tensor_flops_fp16:
+        Peak FP16 tensor-core throughput; the DejaVu predictor's FC layers
+        run here.
+    kernel_launch_latency:
+        Per-kernel launch + dispatch overhead in seconds.
+    mem_efficiency:
+        Achievable fraction of peak bandwidth for streaming (dense) reads.
+    sparse_gather_efficiency:
+        Achievable fraction of peak bandwidth when a GEMV gathers a sparse
+        row subset (uncoalesced row starts, wasted DRAM bursts).
+    atomic_add_latency:
+        Extra cost per atomicAdd performed by the down-projection kernel
+        (paper Section IV-B.4).
+    """
+
+    name: str
+    dram_bandwidth: float
+    cuda_flops_fp32: float
+    cuda_flops_fp16: float
+    cuda_int_ops: float
+    tensor_flops_fp16: float
+    kernel_launch_latency: float = 5.0e-6
+    mem_efficiency: float = 0.72
+    sparse_gather_efficiency: float = 0.20
+    atomic_add_latency: float = 2.0e-9
+
+    def __post_init__(self):
+        for field_name in (
+            "dram_bandwidth",
+            "cuda_flops_fp32",
+            "cuda_flops_fp16",
+            "cuda_int_ops",
+            "tensor_flops_fp16",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        for field_name in ("mem_efficiency", "sparse_gather_efficiency"):
+            v = getattr(self, field_name)
+            if not 0.0 < v <= 1.0:
+                raise ValueError(f"{field_name} must be in (0, 1], got {v}")
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achievable streaming bandwidth in bytes/s."""
+        return self.dram_bandwidth * self.mem_efficiency
+
+    @property
+    def effective_sparse_bandwidth(self) -> float:
+        """Achievable bandwidth for row-gathered sparse GEMV reads."""
+        return self.dram_bandwidth * self.sparse_gather_efficiency
+
+    def scaled(self, **overrides) -> "DeviceSpec":
+        """Copy with some fields replaced (DSE over hypothetical devices)."""
+        return replace(self, **overrides)
+
+
+def jetson_orin_agx_64gb() -> DeviceSpec:
+    """NVIDIA Jetson Orin AGX 64GB (Ampere, 2048 CUDA cores, 64 tensor
+    cores, 204.8 GB/s LPDDR5) -- the paper's platform."""
+    return DeviceSpec(
+        name="Jetson-Orin-AGX-64GB",
+        dram_bandwidth=204.8e9,
+        cuda_flops_fp32=5.32e12,
+        cuda_flops_fp16=10.64e12,
+        cuda_int_ops=2.66e12,
+        tensor_flops_fp16=42.5e12,
+    )
+
+
+def jetson_orin_nx_16gb() -> DeviceSpec:
+    """Smaller Orin NX for DSE what-if studies (102.4 GB/s LPDDR5)."""
+    return DeviceSpec(
+        name="Jetson-Orin-NX-16GB",
+        dram_bandwidth=102.4e9,
+        cuda_flops_fp32=1.88e12,
+        cuda_flops_fp16=3.76e12,
+        cuda_int_ops=0.94e12,
+        tensor_flops_fp16=15.0e12,
+    )
+
+
+def rtx_4090() -> DeviceSpec:
+    """Desktop-class reference point for DSE (1 TB/s GDDR6X)."""
+    return DeviceSpec(
+        name="RTX-4090",
+        dram_bandwidth=1008e9,
+        cuda_flops_fp32=82.6e12,
+        cuda_flops_fp16=165.2e12,
+        cuda_int_ops=41.3e12,
+        tensor_flops_fp16=330.3e12,
+        kernel_launch_latency=3.0e-6,
+    )

@@ -1,0 +1,97 @@
+"""Energy model for DSE on embedded targets (DATE-flavoured extension).
+
+The paper frames alpha as a knob for design-space exploration on a given
+platform; on Jetson-class boards the first-order objective next to
+latency is energy.  We extend the roofline with a simple two-component
+energy model:
+
+    E(token) = P_static * latency + e_dram * bytes_moved + e_mac * ops
+
+with coefficients in the range published for LPDDR5 + Ampere-class
+embedded silicon.  Absolute joules are indicative; *ratios* between
+engine configurations are the DSE signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..model.config import ModelConfig
+from .device import DeviceSpec
+from .pipeline import EngineSpec, SparsityProfile, decode_step_timeline
+from .simulator import ConcurrentGroup, Timeline
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-component energy coefficients.
+
+    Attributes
+    ----------
+    static_power:
+        Board idle + leakage power in watts while decoding.
+    dram_energy_per_byte:
+        LPDDR5 access energy, ~4-6 pJ/bit -> ~40 pJ/byte.
+    op_energy:
+        Energy per arithmetic op (FP16 MAC / INT op averaged).
+    """
+
+    static_power: float = 15.0
+    dram_energy_per_byte: float = 40e-12
+    op_energy: float = 1.2e-12
+
+    def __post_init__(self):
+        if self.static_power < 0:
+            raise ValueError("static_power must be non-negative")
+        if self.dram_energy_per_byte <= 0 or self.op_energy <= 0:
+            raise ValueError("per-unit energies must be positive")
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy of one decode step (one token)."""
+
+    engine_label: str
+    joules_per_token: float
+    latency: float
+
+    @property
+    def tokens_per_joule(self) -> float:
+        return 1.0 / self.joules_per_token
+
+    @property
+    def energy_delay_product(self) -> float:
+        """EDP, the classic embedded figure of merit."""
+        return self.joules_per_token * self.latency
+
+
+def _timeline_ops(timeline: Timeline) -> float:
+    total = 0.0
+    for item in timeline.items:
+        kernels = item.kernels if isinstance(item, ConcurrentGroup) else (item,)
+        for k in kernels:
+            total += k.total_ops
+    return total
+
+
+def decode_energy(
+    config: ModelConfig,
+    engine: EngineSpec,
+    device: DeviceSpec,
+    profile: SparsityProfile = None,
+    seq_len: int = 512,
+    model: EnergyModel = EnergyModel(),
+) -> EnergyReport:
+    """Energy per generated token for one engine configuration."""
+    timeline = decode_step_timeline(config, engine, profile, seq_len)
+    latency = timeline.latency(device)
+    joules = (
+        model.static_power * latency
+        + model.dram_energy_per_byte * timeline.total_bytes
+        + model.op_energy * _timeline_ops(timeline)
+    )
+    return EnergyReport(
+        engine_label=engine.label,
+        joules_per_token=joules,
+        latency=latency,
+    )

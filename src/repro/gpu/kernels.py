@@ -1,0 +1,345 @@
+"""Kernel cost descriptors and builders for the decode pipeline.
+
+Each :class:`KernelCost` records how much memory a kernel moves and how
+much arithmetic it performs on each execution unit; :meth:`latency` applies
+the device roofline.  Builders construct the kernels appearing in one
+decoder layer of the three engines compared in the paper:
+
+* llama.cpp-style dense GEMVs,
+* PowerInfer: DejaVu FC predictor (tensor cores) + sparse GEMVs,
+* SparseInfer: sign-pack + XOR/popcount predictor (CUDA cores) + sparse
+  GEMVs, optionally fused (Section IV-B.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .device import DeviceSpec
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Work performed by one kernel launch.
+
+    ``bytes_streamed`` flows at the device's dense streaming efficiency;
+    ``bytes_gathered`` at its sparse-gather efficiency (row-skipping GEMV
+    reads).  Arithmetic on the three pipes overlaps with memory; the
+    roofline takes the max.
+    """
+
+    name: str
+    bytes_streamed: float = 0.0
+    bytes_gathered: float = 0.0
+    bytes_rowgather: float = 0.0   # row-subset reads; see gather_density
+    gather_density: float = 1.0    # surviving-row fraction of those reads
+    flops_cuda: float = 0.0
+    flops_tensor: float = 0.0
+    int_ops: float = 0.0
+    atomic_ops: float = 0.0
+    fp16: bool = True
+
+    def __post_init__(self):
+        for f in ("bytes_streamed", "bytes_gathered", "bytes_rowgather",
+                  "flops_cuda", "flops_tensor", "int_ops", "atomic_ops"):
+            if getattr(self, f) < 0:
+                raise ValueError(f"{f} must be non-negative")
+        if not 0.0 <= self.gather_density <= 1.0:
+            raise ValueError(
+                f"gather_density must be in [0, 1], got {self.gather_density}"
+            )
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_streamed + self.bytes_gathered + self.bytes_rowgather
+
+    @property
+    def total_ops(self) -> float:
+        return self.flops_cuda + self.flops_tensor + self.int_ops
+
+    def memory_time(self, device: DeviceSpec) -> float:
+        """Roofline memory time.
+
+        ``bytes_rowgather`` moves at a bandwidth that blends linearly from
+        gather efficiency (density -> 0) to streaming efficiency
+        (density = 1): the denser the survivor set, the closer row reads
+        are to a sequential scan.  The blend keeps latency monotone in
+        density and exactly matches :func:`dense_gemv` at density 1.
+        """
+        time = (
+            self.bytes_streamed / device.effective_bandwidth
+            + self.bytes_gathered / device.effective_sparse_bandwidth
+        )
+        if self.bytes_rowgather:
+            eff = (
+                device.sparse_gather_efficiency
+                + (device.mem_efficiency - device.sparse_gather_efficiency)
+                * self.gather_density
+            )
+            time += self.bytes_rowgather / (device.dram_bandwidth * eff)
+        return time
+
+    def compute_time(self, device: DeviceSpec) -> float:
+        cuda_flops = device.cuda_flops_fp16 if self.fp16 else device.cuda_flops_fp32
+        return max(
+            self.flops_cuda / cuda_flops,
+            self.flops_tensor / device.tensor_flops_fp16,
+            self.int_ops / device.cuda_int_ops,
+        )
+
+    def latency(self, device: DeviceSpec) -> float:
+        """Roofline latency of one launch, in seconds."""
+        return (
+            device.kernel_launch_latency
+            + max(self.memory_time(device), self.compute_time(device))
+            + self.atomic_ops * device.atomic_add_latency
+        )
+
+
+def merge(name: str, *kernels: KernelCost) -> KernelCost:
+    """Fuse kernels into one launch (kernel fusion, Section IV-B.4).
+
+    Work adds; the fused kernel pays a single launch overhead.  Callers
+    are responsible for removing any intermediate loads/stores the fusion
+    eliminates *before* merging.
+    """
+    rowgather = sum(k.bytes_rowgather for k in kernels)
+    if rowgather > 0:
+        density = sum(
+            k.bytes_rowgather * k.gather_density for k in kernels
+        ) / rowgather
+    else:
+        density = 1.0
+    return KernelCost(
+        name=name,
+        bytes_streamed=sum(k.bytes_streamed for k in kernels),
+        bytes_gathered=sum(k.bytes_gathered for k in kernels),
+        bytes_rowgather=rowgather,
+        gather_density=density,
+        flops_cuda=sum(k.flops_cuda for k in kernels),
+        flops_tensor=sum(k.flops_tensor for k in kernels),
+        int_ops=sum(k.int_ops for k in kernels),
+        atomic_ops=sum(k.atomic_ops for k in kernels),
+        fp16=all(k.fp16 for k in kernels),
+    )
+
+
+# ---------------------------------------------------------------------------
+# GEMV family
+# ---------------------------------------------------------------------------
+
+def dense_gemv(name: str, nrows: int, ncols: int, dtype_bytes: int = 2) -> KernelCost:
+    """Streaming dense matrix-vector product ``(nrows x ncols) @ (ncols,)``."""
+    weight_bytes = nrows * ncols * dtype_bytes
+    vector_bytes = (ncols + nrows) * dtype_bytes
+    return KernelCost(
+        name=name,
+        bytes_streamed=weight_bytes + vector_bytes,
+        flops_cuda=2.0 * nrows * ncols,
+        fp16=dtype_bytes <= 2,
+    )
+
+
+def sparse_gemv(
+    name: str,
+    nrows: int,
+    ncols: int,
+    density: float,
+    dtype_bytes: int = 2,
+    atomic_output: bool = False,
+) -> KernelCost:
+    """Row-skipping GEMV: only ``density * nrows`` rows are loaded/computed.
+
+    The skip-flag vector (one int per row) is read as well.  When
+    ``atomic_output`` is set the kernel accumulates into the output with
+    atomicAdd (the transposed-Wdown kernel of Section IV-B.4).
+
+    Bandwidth model: the live rows are ``bytes_rowgather`` moving at the
+    density-blended efficiency (see :meth:`KernelCost.memory_time`), which
+    is monotone in density and reduces to :func:`dense_gemv`'s streaming
+    bandwidth at ``density == 1``.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError(f"density must be in [0, 1], got {density}")
+    live_rows = density * nrows
+    weight_bytes = live_rows * ncols * dtype_bytes
+    vector_bytes = (ncols + nrows) * dtype_bytes + nrows * 4  # io + skip flags
+    return KernelCost(
+        name=name,
+        bytes_rowgather=weight_bytes,
+        gather_density=density,
+        bytes_streamed=vector_bytes,
+        flops_cuda=2.0 * live_rows * ncols,
+        atomic_ops=live_rows if atomic_output else 0.0,
+        fp16=dtype_bytes <= 2,
+    )
+
+
+def prefill_gemm(
+    name: str, nrows: int, ncols: int, n_tokens: int, dtype_bytes: int = 2
+) -> KernelCost:
+    """Batched prompt-phase GEMM: weights stream once, reused per token.
+
+    Prefill is compute bound for long prompts, which is why SparseInfer
+    leaves it dense (Section V-C) -- there is nothing memory-bound to
+    save.
+    """
+    if n_tokens <= 0:
+        raise ValueError(f"n_tokens must be positive, got {n_tokens}")
+    weight_bytes = nrows * ncols * dtype_bytes
+    act_bytes = n_tokens * (ncols + nrows) * dtype_bytes
+    return KernelCost(
+        name=name,
+        bytes_streamed=weight_bytes + act_bytes,
+        flops_cuda=2.0 * nrows * ncols * n_tokens,
+        fp16=dtype_bytes <= 2,
+    )
+
+
+# ---------------------------------------------------------------------------
+# SparseInfer kernels (Section IV-B)
+# ---------------------------------------------------------------------------
+
+def sign_pack_kernel(d: int, dtype_bytes: int = 2) -> KernelCost:
+    """Pack the sign bits of the dynamic input vector X (Section IV-B.1)."""
+    return KernelCost(
+        name="sign_pack_x",
+        bytes_streamed=d * dtype_bytes + d / 8.0,
+        int_ops=float(d),
+    )
+
+
+def sparseinfer_predict_kernel(k: int, d: int) -> KernelCost:
+    """XOR + popcount majority vote over packed signs (Listing 1).
+
+    Reads ``k * d/8`` bytes of packed ``Wgate`` signs plus the packed input,
+    performs ``k * d/32`` XORs and as many popcounts on the CUDA cores, and
+    writes one skip flag per row.
+    """
+    words = k * d / 32.0
+    return KernelCost(
+        name="sparseinfer_predict",
+        bytes_streamed=k * d / 8.0 + d / 8.0 + k * 4.0,
+        int_ops=2.0 * words,  # XOR + popc per word
+    )
+
+
+def fused_sparse_mlp_kernel(
+    d: int,
+    k: int,
+    gate_density: float,
+    up_density: float,
+    dtype_bytes: int = 2,
+) -> KernelCost:
+    """Steps 1-3 of the gated MLP fused into one kernel (Section IV-B.4).
+
+    Memory access is limited to one load of X, the live rows of Wgate and
+    Wup, and one write of h3; the h1/h2 intermediates stay in registers.
+    """
+    gate = sparse_gemv("gate", k, d, gate_density, dtype_bytes)
+    up = sparse_gemv("up", k, d, up_density, dtype_bytes)
+    fused = merge("fused_gate_up_mul", gate, up)
+    # Fusion removes: one of the two X loads, the h1/h2 stores and loads.
+    saved = d * dtype_bytes + 4 * k * dtype_bytes
+    # Element-wise h3 = ReLU(h1) * h2 over live rows only.
+    elementwise = max(gate_density, up_density) * k
+    return KernelCost(
+        name="fused_sparse_mlp",
+        bytes_streamed=max(0.0, fused.bytes_streamed - saved) + elementwise * dtype_bytes,
+        bytes_rowgather=fused.bytes_rowgather,
+        gather_density=fused.gather_density,
+        flops_cuda=fused.flops_cuda + elementwise,
+        fp16=dtype_bytes <= 2,
+    )
+
+
+def elementwise_gate_kernel(k: int, density: float, dtype_bytes: int = 2) -> KernelCost:
+    """Unfused step 3: h3 = ReLU(h1) * h2 (reads h1, h2; writes h3)."""
+    live = density * k
+    return KernelCost(
+        name="gate_mul",
+        bytes_streamed=3 * k * dtype_bytes,
+        flops_cuda=2.0 * live,
+        fp16=dtype_bytes <= 2,
+    )
+
+
+# ---------------------------------------------------------------------------
+# DejaVu / PowerInfer predictor (Section II, V-A)
+# ---------------------------------------------------------------------------
+
+def dejavu_predict_kernel(d: int, rank: int, k: int, dtype_bytes: int = 2) -> KernelCost:
+    """The trained two-FC-layer predictor of DejaVu, as used by PowerInfer.
+
+    Computes ``x @ A (d x rank)`` then ``@ B (rank x k)`` in FP16 on the
+    tensor cores; both weight matrices stream from DRAM every token.
+    """
+    weight_bytes = (d * rank + rank * k) * dtype_bytes
+    vector_bytes = (d + rank + k) * dtype_bytes
+    return KernelCost(
+        name="dejavu_predict",
+        bytes_streamed=weight_bytes + vector_bytes,
+        flops_tensor=2.0 * (d * rank + rank * k),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Attention & misc per-layer kernels
+# ---------------------------------------------------------------------------
+
+def attention_kernels(
+    d: int,
+    n_heads: int,
+    seq_len: int,
+    dtype_bytes: int = 2,
+) -> list[KernelCost]:
+    """Dense attention for one decode step: QKV, RoPE, scores, output.
+
+    Neither engine sparsifies attention (SparseInfer targets the MLP), so
+    this cost is common to all compared configurations.
+    """
+    head_dim = d // n_heads
+    kernels = [
+        dense_gemv("wq", d, d, dtype_bytes),
+        dense_gemv("wk", d, d, dtype_bytes),
+        dense_gemv("wv", d, d, dtype_bytes),
+        KernelCost(
+            name="rope",
+            bytes_streamed=2 * d * dtype_bytes * 2,
+            flops_cuda=4.0 * d,
+            fp16=dtype_bytes <= 2,
+        ),
+        # Score + weighted-sum read the whole KV cache for this layer.
+        KernelCost(
+            name="attn_scores_softmax_wsum",
+            bytes_streamed=2 * seq_len * d * dtype_bytes
+            + n_heads * seq_len * 4.0 * 2,
+            flops_cuda=4.0 * seq_len * d + 10.0 * n_heads * seq_len,
+            fp16=dtype_bytes <= 2,
+        ),
+        dense_gemv("wo", d, d, dtype_bytes),
+    ]
+    del head_dim
+    return kernels
+
+
+def rmsnorm_kernel(d: int, dtype_bytes: int = 2) -> KernelCost:
+    return KernelCost(
+        name="rmsnorm",
+        bytes_streamed=3 * d * dtype_bytes,
+        flops_cuda=4.0 * d,
+        fp16=dtype_bytes <= 2,
+    )
+
+
+def residual_add_kernel(d: int, dtype_bytes: int = 2) -> KernelCost:
+    return KernelCost(
+        name="residual_add",
+        bytes_streamed=3 * d * dtype_bytes,
+        flops_cuda=float(d),
+        fp16=dtype_bytes <= 2,
+    )
+
+
+def lm_head_kernel(d: int, vocab: int, dtype_bytes: int = 2) -> KernelCost:
+    return dense_gemv("lm_head", vocab, d, dtype_bytes)

@@ -1,0 +1,95 @@
+"""Memory-footprint accounting (paper Section V-A.2).
+
+Reproduces the predictor memory comparison:
+
+* PowerInfer/DejaVu at rank 1024 on ProSparse-Llama2-13B:
+  ``(5120*1024 + 1024*13824) * 2 bytes * 40 layers = 1480 MB``
+* SparseInfer packed sign bits:
+  ``13824 * 160 words * 4 bytes * 40 layers = 337.5 MB`` (4.38x less)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.signpack import WORD_BITS, words_per_row
+from ..model.config import ModelConfig
+
+MIB = 1024.0 * 1024.0
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Bytes attributable to each component of an engine's resident set."""
+
+    model_name: str
+    weights_bytes: float
+    kv_cache_bytes: float
+    predictor_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.weights_bytes + self.kv_cache_bytes + self.predictor_bytes
+
+    @property
+    def predictor_mib(self) -> float:
+        return self.predictor_bytes / MIB
+
+
+def weight_bytes(config: ModelConfig) -> float:
+    """Resident model weights (attention + MLP + embeddings)."""
+    per_layer = config.mlp_params_per_layer + config.attn_params_per_layer
+    embed = 2 * config.vocab_size * config.d_model
+    return (config.n_layers * per_layer + embed) * config.dtype_bytes
+
+
+def kv_cache_bytes(config: ModelConfig, seq_len: int) -> float:
+    """Key+value cache for ``seq_len`` positions across all layers."""
+    if seq_len < 0:
+        raise ValueError(f"seq_len must be non-negative, got {seq_len}")
+    return 2.0 * config.n_layers * seq_len * config.d_model * config.dtype_bytes
+
+
+def dejavu_predictor_bytes(config: ModelConfig, rank: int = 1024) -> float:
+    """Per-model footprint of the trained DejaVu predictor (PowerInfer).
+
+    One rank-``r`` two-layer FC predictor per MLP block, stored FP16:
+    ``(d*r + r*k) * dtype * n_layers``.
+    """
+    if rank <= 0:
+        raise ValueError(f"rank must be positive, got {rank}")
+    per_layer = (config.d_model * rank + rank * config.d_ff) * config.dtype_bytes
+    return float(per_layer * config.n_layers)
+
+
+def sparseinfer_predictor_bytes(config: ModelConfig) -> float:
+    """Per-model footprint of SparseInfer's packed sign bits.
+
+    One bit per ``Wgate`` element, packed in 32-bit words:
+    ``k * ceil(d/32) * 4 bytes * n_layers``.
+    """
+    words = words_per_row(config.d_model)
+    return float(config.d_ff * words * (WORD_BITS // 8) * config.n_layers)
+
+
+def engine_memory(
+    config: ModelConfig,
+    engine_kind: str,
+    seq_len: int = 0,
+    dejavu_rank: int = 1024,
+) -> MemoryReport:
+    """Full resident-set report for one engine on one model."""
+    if engine_kind == "dense":
+        predictor = 0.0
+    elif engine_kind == "powerinfer":
+        predictor = dejavu_predictor_bytes(config, dejavu_rank)
+    elif engine_kind == "sparseinfer":
+        predictor = sparseinfer_predictor_bytes(config)
+    else:
+        raise ValueError(f"unknown engine kind {engine_kind!r}")
+    return MemoryReport(
+        model_name=config.name,
+        weights_bytes=weight_bytes(config),
+        kv_cache_bytes=kv_cache_bytes(config, seq_len),
+        predictor_bytes=predictor,
+    )

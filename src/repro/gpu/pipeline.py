@@ -1,0 +1,327 @@
+"""Decode-step pipelines for the three compared inference engines.
+
+Builds a :class:`~repro.gpu.simulator.Timeline` for one autoregressive
+decode step (one token) of:
+
+* ``dense``       -- llama.cpp-style: all GEMVs dense (the baseline),
+* ``powerinfer``  -- DejaVu trained predictor + sparse GEMVs,
+* ``sparseinfer`` -- sign-bit predictor + sparse GEMVs, with the paper's
+  two optional measures: kernel fusion (+KF) and actual-sparsity
+  exploitation (+AS).
+
+Per-layer exploited densities come from a :class:`SparsityProfile`, which
+is normally *measured* on the synthetic activation model (see
+:mod:`repro.eval.latency`) so that the latency experiments inherit the
+predictor's real precision/recall behaviour at each alpha.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..model.config import ModelConfig
+from .device import DeviceSpec
+from .kernels import (
+    KernelCost,
+    attention_kernels,
+    dejavu_predict_kernel,
+    dense_gemv,
+    elementwise_gate_kernel,
+    fused_sparse_mlp_kernel,
+    lm_head_kernel,
+    residual_add_kernel,
+    rmsnorm_kernel,
+    sign_pack_kernel,
+    sparse_gemv,
+    sparseinfer_predict_kernel,
+)
+from .simulator import Timeline
+
+
+@dataclass(frozen=True)
+class LayerSparsity:
+    """Exploited skip fractions for one decoder layer.
+
+    ``predicted_skip`` is the fraction of gate rows the predictor marks
+    sparse (exploitable in *all* of steps 1-4); ``union_skip`` additionally
+    folds in the actual sparsity discovered after step 1 (exploitable in
+    steps 2-4 when +AS is on, Section IV).
+    """
+
+    predicted_skip: float
+    union_skip: float
+
+    def __post_init__(self):
+        if not 0.0 <= self.predicted_skip <= 1.0:
+            raise ValueError(f"predicted_skip out of range: {self.predicted_skip}")
+        if not 0.0 <= self.union_skip <= 1.0:
+            raise ValueError(f"union_skip out of range: {self.union_skip}")
+        if self.union_skip < self.predicted_skip - 1e-12:
+            raise ValueError("union_skip cannot be below predicted_skip")
+
+
+@dataclass(frozen=True)
+class SparsityProfile:
+    """Per-layer exploited sparsity for a model/alpha combination."""
+
+    layers: tuple
+
+    @classmethod
+    def uniform(
+        cls, n_layers: int, predicted_skip: float, union_skip: Optional[float] = None
+    ) -> "SparsityProfile":
+        if union_skip is None:
+            union_skip = predicted_skip
+        layer = LayerSparsity(predicted_skip, union_skip)
+        return cls(layers=tuple([layer] * n_layers))
+
+    @classmethod
+    def from_arrays(
+        cls, predicted_skip: Sequence[float], union_skip: Sequence[float]
+    ) -> "SparsityProfile":
+        if len(predicted_skip) != len(union_skip):
+            raise ValueError("array length mismatch")
+        return cls(
+            layers=tuple(
+                LayerSparsity(float(p), float(u))
+                for p, u in zip(predicted_skip, union_skip)
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, layer: int) -> LayerSparsity:
+        return self.layers[layer]
+
+    @property
+    def mean_predicted_skip(self) -> float:
+        return float(np.mean([l.predicted_skip for l in self.layers]))
+
+    @property
+    def mean_union_skip(self) -> float:
+        return float(np.mean([l.union_skip for l in self.layers]))
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Which engine to model, with its options and host-side overhead.
+
+    ``host_overhead`` is the per-token CPU cost of graph construction /
+    scheduling; PowerInfer's hybrid scheduler is heavier than llama.cpp's
+    graph walk (calibration constants, see DESIGN.md section 5.5).
+    """
+
+    kind: str                      # "dense" | "powerinfer" | "sparseinfer"
+    kernel_fusion: bool = False    # +KF (sparseinfer only)
+    actual_sparsity: bool = False  # +AS (sparseinfer only)
+    concurrent_gate_up: bool = False  # CKE alternative to sequential steps 1-2
+    dejavu_rank: int = 1024        # powerinfer predictor rank
+    host_overhead: float = 6.0e-3
+
+    def __post_init__(self):
+        if self.kind not in ("dense", "powerinfer", "sparseinfer"):
+            raise ValueError(f"unknown engine kind {self.kind!r}")
+        if self.concurrent_gate_up and (self.kernel_fusion
+                                        or self.actual_sparsity):
+            # Section IV: running steps 1 and 2 concurrently (CKE) rules
+            # out both fusing them and recovering actual sparsity, since
+            # the up GEMV starts before h1 exists.
+            raise ValueError(
+                "concurrent_gate_up excludes kernel_fusion/actual_sparsity"
+            )
+
+    @property
+    def label(self) -> str:
+        if self.kind != "sparseinfer":
+            return self.kind
+        suffix = ""
+        if self.kernel_fusion:
+            suffix += "+KF"
+        if self.actual_sparsity:
+            suffix += "+AS"
+        return "sparseinfer" + suffix
+
+
+def dense_engine() -> EngineSpec:
+    return EngineSpec(kind="dense")
+
+
+def powerinfer_engine(rank: int = 1024) -> EngineSpec:
+    """PowerInfer's hybrid CPU/GPU scheduler costs more host time per token
+    than llama.cpp's static graph walk (calibration constant)."""
+    return EngineSpec(kind="powerinfer", dejavu_rank=rank, host_overhead=9.0e-3)
+
+
+def sparseinfer_engine(
+    kernel_fusion: bool = True, actual_sparsity: bool = True
+) -> EngineSpec:
+    return EngineSpec(
+        kind="sparseinfer",
+        kernel_fusion=kernel_fusion,
+        actual_sparsity=actual_sparsity,
+    )
+
+
+def _mlp_kernels(
+    config: ModelConfig,
+    engine: EngineSpec,
+    sparsity: LayerSparsity,
+) -> list[KernelCost]:
+    """Kernels of one layer's MLP block under the given engine."""
+    d, k, dtype = config.d_model, config.d_ff, config.dtype_bytes
+    if engine.kind == "dense":
+        return [
+            dense_gemv("gate", k, d, dtype),
+            dense_gemv("up", k, d, dtype),
+            elementwise_gate_kernel(k, 1.0, dtype),
+            dense_gemv("down", d, k, dtype),
+        ]
+
+    if engine.kind == "powerinfer":
+        density = 1.0 - sparsity.predicted_skip
+        return [
+            dejavu_predict_kernel(d, engine.dejavu_rank, k, dtype),
+            sparse_gemv("gate", k, d, density, dtype),
+            sparse_gemv("up", k, d, density, dtype),
+            elementwise_gate_kernel(k, density, dtype),
+            sparse_gemv("down", d, k, density, dtype, atomic_output=True),
+        ]
+
+    # SparseInfer (Section IV-B).
+    gate_density = 1.0 - sparsity.predicted_skip
+    late_skip = sparsity.union_skip if engine.actual_sparsity else sparsity.predicted_skip
+    late_density = 1.0 - late_skip
+    kernels = [
+        sign_pack_kernel(d, dtype),
+        sparseinfer_predict_kernel(k, d),
+    ]
+    if engine.kernel_fusion:
+        kernels.append(
+            fused_sparse_mlp_kernel(d, k, gate_density, late_density, dtype)
+        )
+    elif engine.concurrent_gate_up:
+        # Section IV alternative: steps 1 and 2 on separate streams (CKE).
+        # Both GEMVs are memory bound, so the shared DRAM bus serialises
+        # them anyway -- which is why the paper prefers sequential + AS.
+        from .simulator import ConcurrentGroup
+
+        kernels.append(
+            ConcurrentGroup(
+                kernels=(
+                    sparse_gemv("gate", k, d, gate_density, dtype),
+                    sparse_gemv("up", k, d, late_density, dtype),
+                )
+            )
+        )
+        kernels.append(elementwise_gate_kernel(k, late_density, dtype))
+    else:
+        kernels.extend(
+            [
+                sparse_gemv("gate", k, d, gate_density, dtype),
+                sparse_gemv("up", k, d, late_density, dtype),
+                elementwise_gate_kernel(k, late_density, dtype),
+            ]
+        )
+    kernels.append(
+        sparse_gemv("down", d, k, late_density, dtype, atomic_output=True)
+    )
+    return kernels
+
+
+def decode_step_timeline(
+    config: ModelConfig,
+    engine: EngineSpec,
+    profile: Optional[SparsityProfile] = None,
+    seq_len: int = 512,
+) -> Timeline:
+    """Timeline of one full decode step (one generated token).
+
+    ``profile`` may be omitted for the dense engine only.
+    """
+    if engine.kind != "dense":
+        if profile is None:
+            raise ValueError(f"{engine.kind} engine needs a SparsityProfile")
+        if len(profile) != config.n_layers:
+            raise ValueError(
+                f"profile has {len(profile)} layers, model has {config.n_layers}"
+            )
+    d, dtype = config.d_model, config.dtype_bytes
+    timeline = Timeline(fixed_overhead=engine.host_overhead)
+    for layer in range(config.n_layers):
+        timeline.add(rmsnorm_kernel(d, dtype))
+        timeline.extend(attention_kernels(d, config.n_heads, seq_len, dtype))
+        timeline.add(residual_add_kernel(d, dtype))
+        timeline.add(rmsnorm_kernel(d, dtype))
+        sparsity = profile[layer] if profile is not None else LayerSparsity(0.0, 0.0)
+        timeline.extend(_mlp_kernels(config, engine, sparsity))
+        timeline.add(residual_add_kernel(d, dtype))
+    timeline.add(rmsnorm_kernel(d, dtype))
+    timeline.add(lm_head_kernel(d, config.vocab_size, dtype))
+    return timeline
+
+
+def prefill_timeline(config: ModelConfig, n_tokens: int) -> Timeline:
+    """Prompt-phase timeline: dense batched GEMMs over all layers.
+
+    SparseInfer exploits sparsity only while decoding (Section V-C);
+    prefill amortises each weight read over ``n_tokens`` tokens and is
+    compute bound for long prompts, so row-skipping would buy little.
+    """
+    from .kernels import prefill_gemm
+
+    d, k, dtype = config.d_model, config.d_ff, config.dtype_bytes
+    timeline = Timeline(fixed_overhead=6.0e-3)
+    for _ in range(config.n_layers):
+        timeline.add(prefill_gemm("wqkv", 3 * d, d, n_tokens, dtype))
+        timeline.add(
+            KernelCost(
+                name="attn_prefill",
+                bytes_streamed=2.0 * n_tokens * d * dtype,
+                flops_cuda=2.0 * n_tokens * n_tokens * d,
+                fp16=dtype <= 2,
+            )
+        )
+        timeline.add(prefill_gemm("wo", d, d, n_tokens, dtype))
+        timeline.add(prefill_gemm("gate", k, d, n_tokens, dtype))
+        timeline.add(prefill_gemm("up", k, d, n_tokens, dtype))
+        timeline.add(prefill_gemm("down", d, k, n_tokens, dtype))
+    timeline.add(prefill_gemm("lm_head", config.vocab_size, d, 1, dtype))
+    return timeline
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Latency of one engine configuration on one model."""
+
+    engine_label: str
+    model_name: str
+    seconds_per_token: float
+    breakdown: dict = field(default_factory=dict)
+
+    @property
+    def tokens_per_second(self) -> float:
+        return 1.0 / self.seconds_per_token
+
+    def speedup_over(self, other: "LatencyReport") -> float:
+        return other.seconds_per_token / self.seconds_per_token
+
+
+def decode_latency(
+    config: ModelConfig,
+    engine: EngineSpec,
+    device: DeviceSpec,
+    profile: Optional[SparsityProfile] = None,
+    seq_len: int = 512,
+) -> LatencyReport:
+    """Convenience wrapper: build the timeline and evaluate it."""
+    timeline = decode_step_timeline(config, engine, profile, seq_len)
+    return LatencyReport(
+        engine_label=engine.label,
+        model_name=config.name,
+        seconds_per_token=timeline.latency(device),
+        breakdown=timeline.breakdown(device),
+    )

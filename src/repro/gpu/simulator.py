@@ -1,0 +1,96 @@
+"""Timeline simulator: sequences and concurrent groups of kernels.
+
+Models a CUDA stream executing kernels back to back, with optional
+Concurrent Kernel Execution (CKE) groups -- the paper notes steps 1 and 2
+of the MLP *can* run concurrently, but SparseInfer runs them sequentially
+to harvest actual sparsity.  For memory-bound kernels CKE buys little
+because the DRAM bandwidth is shared; the simulator models a CKE group as
+
+    time = max(sum of memory times, max of compute times) + one launch
+           overhead per kernel
+
+i.e. bandwidth serialises, compute overlaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence, Union
+
+from .device import DeviceSpec
+from .kernels import KernelCost
+
+
+@dataclass(frozen=True)
+class ConcurrentGroup:
+    """Kernels launched on separate streams that may overlap (CKE)."""
+
+    kernels: tuple
+
+    def __post_init__(self):
+        if not self.kernels:
+            raise ValueError("ConcurrentGroup needs at least one kernel")
+
+    def latency(self, device: DeviceSpec) -> float:
+        mem = sum(k.memory_time(device) for k in self.kernels)
+        comp = max(k.compute_time(device) for k in self.kernels)
+        launches = len(self.kernels) * device.kernel_launch_latency
+        atomics = sum(k.atomic_ops for k in self.kernels) * device.atomic_add_latency
+        return launches + max(mem, comp) + atomics
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(k.total_bytes for k in self.kernels)
+
+
+TimelineItem = Union[KernelCost, ConcurrentGroup]
+
+
+@dataclass
+class Timeline:
+    """An ordered stream of kernels / CKE groups with latency accounting."""
+
+    items: list = field(default_factory=list)
+    fixed_overhead: float = 0.0   # host-side per-invocation cost (graph eval)
+
+    def add(self, item: TimelineItem) -> "Timeline":
+        self.items.append(item)
+        return self
+
+    def extend(self, items: Iterable[TimelineItem]) -> "Timeline":
+        self.items.extend(items)
+        return self
+
+    def concurrent(self, kernels: Sequence[KernelCost]) -> "Timeline":
+        self.items.append(ConcurrentGroup(kernels=tuple(kernels)))
+        return self
+
+    @property
+    def n_launches(self) -> int:
+        total = 0
+        for item in self.items:
+            total += len(item.kernels) if isinstance(item, ConcurrentGroup) else 1
+        return total
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(item.total_bytes for item in self.items)
+
+    def latency(self, device: DeviceSpec) -> float:
+        """End-to-end latency in seconds."""
+        return self.fixed_overhead + sum(
+            item.latency(device) for item in self.items
+        )
+
+    def breakdown(self, device: DeviceSpec) -> dict:
+        """Per-kernel-name latency totals (seconds), for reporting."""
+        out: dict = {}
+        if self.fixed_overhead:
+            out["host_overhead"] = self.fixed_overhead
+        for item in self.items:
+            if isinstance(item, ConcurrentGroup):
+                name = "+".join(k.name for k in item.kernels)
+                out[name] = out.get(name, 0.0) + item.latency(device)
+            else:
+                out[item.name] = out.get(item.name, 0.0) + item.latency(device)
+        return out

@@ -1,0 +1,131 @@
+"""Model configurations.
+
+Two families:
+
+* **True-scale configs** (``prosparse_llama2_7b`` / ``_13b``) carry the real
+  Llama-2 dimensions.  They are used by the *analytical* reproductions --
+  op counts (Table I), predictor memory (Section V-A.2), the GPU latency
+  model (Fig. 4) and the statistical activation model (Figs. 2-3) -- none
+  of which require materialising the full weights.
+* **Role configs** (``tiny_7b_role`` / ``tiny_13b_role``) are small
+  trainable stand-ins used for end-to-end accuracy experiments
+  (Tables II-III).  The 13B-role model is deeper/wider than the 7B-role
+  one so the relative robustness ordering of the paper can emerge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyper-parameters of a gate-based-MLP decoder LM.
+
+    ``d_ff`` is the paper's ``k`` (gate/up/down inner dimension, ``k > d``).
+    """
+
+    name: str
+    vocab_size: int
+    d_model: int
+    n_layers: int
+    n_heads: int
+    d_ff: int
+    max_seq_len: int = 2048
+    rope_theta: float = 10000.0
+    norm_eps: float = 1e-5
+    activation: str = "relu"          # "relu" | "silu" | "fatrelu"
+    fatrelu_threshold: float = 0.0    # only used when activation == "fatrelu"
+    dtype_bytes: int = 2              # FP16 storage, as in the paper's setup
+
+    def __post_init__(self):
+        if self.d_model % self.n_heads != 0:
+            raise ValueError(
+                f"d_model ({self.d_model}) must divide by n_heads ({self.n_heads})"
+            )
+        if self.activation not in ("relu", "silu", "fatrelu"):
+            raise ValueError(f"unknown activation {self.activation!r}")
+        if self.d_ff <= 0 or self.d_model <= 0 or self.n_layers <= 0:
+            raise ValueError("dimensions must be positive")
+
+    @property
+    def head_dim(self) -> int:
+        return self.d_model // self.n_heads
+
+    @property
+    def mlp_params_per_layer(self) -> int:
+        """Parameters in one gated MLP block: Wgate + Wup + Wdown."""
+        return 3 * self.d_model * self.d_ff
+
+    @property
+    def attn_params_per_layer(self) -> int:
+        """Parameters in one attention block: Wq, Wk, Wv, Wo."""
+        return 4 * self.d_model * self.d_model
+
+    @property
+    def total_params(self) -> int:
+        per_layer = self.mlp_params_per_layer + self.attn_params_per_layer
+        embed = self.vocab_size * self.d_model
+        return self.n_layers * per_layer + 2 * embed  # tied-off embed + lm head
+
+    def relufied(self) -> "ModelConfig":
+        """The ReLUfication transform of Mirzadeh et al.: swap to ReLU."""
+        return replace(self, activation="relu", name=self.name + "-relufied")
+
+
+def prosparse_llama2_13b() -> ModelConfig:
+    """ProSparse-Llama2-13B dimensions (paper Section V-A.2)."""
+    return ModelConfig(
+        name="ProSparse-Llama2-13B",
+        vocab_size=32000,
+        d_model=5120,
+        n_layers=40,
+        n_heads=40,
+        d_ff=13824,
+        max_seq_len=4096,
+        activation="relu",
+    )
+
+
+def prosparse_llama2_7b() -> ModelConfig:
+    """ProSparse-Llama2-7B dimensions."""
+    return ModelConfig(
+        name="ProSparse-Llama2-7B",
+        vocab_size=32000,
+        d_model=4096,
+        n_layers=32,
+        n_heads=32,
+        d_ff=11008,
+        max_seq_len=4096,
+        activation="relu",
+    )
+
+
+def tiny_13b_role(vocab_size: int = 64) -> ModelConfig:
+    """Trainable stand-in playing the 13B role in accuracy experiments."""
+    return ModelConfig(
+        name="tiny-13b-role",
+        vocab_size=vocab_size,
+        d_model=160,
+        n_layers=5,
+        n_heads=5,
+        d_ff=416,
+        max_seq_len=128,
+        activation="relu",
+        dtype_bytes=4,
+    )
+
+
+def tiny_7b_role(vocab_size: int = 64) -> ModelConfig:
+    """Trainable stand-in playing the 7B role (smaller, more fragile)."""
+    return ModelConfig(
+        name="tiny-7b-role",
+        vocab_size=vocab_size,
+        d_model=128,
+        n_layers=4,
+        n_heads=4,
+        d_ff=320,
+        max_seq_len=128,
+        activation="relu",
+        dtype_bytes=4,
+    )

@@ -1,0 +1,177 @@
+"""Numpy decode engine with KV cache and pluggable MLP executors.
+
+This is the substrate playing llama.cpp's role: a single-token
+autoregressive decoder.  The MLP block is delegated to an executor
+(dense, SparseInfer, DejaVu/PowerInfer, random, threshold), which is how
+every engine comparison in the paper is expressed.
+
+``trace_mlp_inputs=True`` records, per (layer, token), the RMS-normed MLP
+input and the exact gate pre-activation.  Traces drive DejaVu predictor
+training, alpha calibration, and the trained-model versions of Figs. 2-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .config import ModelConfig
+from .kvcache import KVCache
+from .mlp import DenseMLP, MLPExecutor
+from .norm import rmsnorm
+from .rope import apply_rope, rope_tables
+from .weights import ModelWeights
+
+
+@dataclass
+class MLPTrace:
+    """Recorded MLP-block inputs for offline analysis."""
+
+    layer: int
+    x: np.ndarray            # (d,) RMS-normed input to the MLP block
+    gate_preact: np.ndarray  # (k,) exact x @ Wgate^T
+
+
+@dataclass
+class GenerationResult:
+    """Output of :meth:`InferenceModel.generate`."""
+
+    prompt_ids: list
+    generated_ids: list
+    logits_history: list = field(default_factory=list)
+
+    @property
+    def n_generated(self) -> int:
+        return len(self.generated_ids)
+
+
+class InferenceModel:
+    """Single-sequence decoder with KV cache.
+
+    Parameters
+    ----------
+    weights:
+        Model parameters in inference layout.
+    mlp:
+        MLP executor; defaults to the dense reference.
+    trace_mlp_inputs:
+        Record :class:`MLPTrace` entries for every (layer, token).
+    """
+
+    def __init__(
+        self,
+        weights: ModelWeights,
+        mlp: Optional[MLPExecutor] = None,
+        trace_mlp_inputs: bool = False,
+        prefill_mlp: Optional[MLPExecutor] = None,
+    ):
+        weights.validate()
+        self.weights = weights
+        self.config: ModelConfig = weights.config
+        self.mlp: MLPExecutor = mlp if mlp is not None else DenseMLP(weights)
+        # SparseInfer sparsifies decoding only (Section V-C); a separate
+        # prefill executor (typically dense) models that split.
+        self.prefill_mlp: MLPExecutor = (
+            prefill_mlp if prefill_mlp is not None else self.mlp
+        )
+        self._active_mlp: MLPExecutor = self.mlp
+        self.trace_mlp_inputs = trace_mlp_inputs
+        self.traces: list = []
+        self.cache = KVCache(self.config)
+
+    # -- core forward ------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear the KV cache (traces are kept; clear explicitly)."""
+        self.cache.reset()
+
+    def clear_traces(self) -> None:
+        self.traces = []
+
+    def _attention(self, layer: int, x: np.ndarray, position: int) -> np.ndarray:
+        cfg = self.config
+        lw = self.weights.layers[layer]
+        n_heads, head_dim = cfg.n_heads, cfg.head_dim
+        q = x @ lw.wq
+        k = x @ lw.wk
+        v = x @ lw.wv
+        cos, sin = rope_tables(np.array([position]), head_dim, cfg.rope_theta)
+        q = apply_rope(q.reshape(n_heads, 1, head_dim), cos, sin).reshape(n_heads, head_dim)
+        k = apply_rope(k.reshape(n_heads, 1, head_dim), cos, sin).reshape(-1)
+        self.cache.append(layer, k, v, position)
+        length = position + 1
+        keys, values = self.cache.view(layer, length)          # (len, d)
+        kh = keys.reshape(length, n_heads, head_dim).transpose(1, 0, 2)
+        vh = values.reshape(length, n_heads, head_dim).transpose(1, 0, 2)
+        scores = np.einsum("hd,htd->ht", q, kh) / np.sqrt(head_dim)
+        scores -= scores.max(axis=-1, keepdims=True)
+        probs = np.exp(scores)
+        probs /= probs.sum(axis=-1, keepdims=True)
+        ctx = np.einsum("ht,htd->hd", probs, vh).reshape(cfg.d_model)
+        return ctx @ lw.wo
+
+    def forward_token(self, token_id: int, position: int) -> np.ndarray:
+        """One decode step: returns the next-token logits ``(vocab,)``."""
+        cfg = self.config
+        x = self.weights.tok_embed[token_id].astype(np.float32).copy()
+        for layer in range(cfg.n_layers):
+            lw = self.weights.layers[layer]
+            attn_in = rmsnorm(x, lw.attn_norm, cfg.norm_eps)
+            x = x + self._attention(layer, attn_in, position)
+            mlp_in = rmsnorm(x, lw.mlp_norm, cfg.norm_eps)
+            if self.trace_mlp_inputs:
+                self.traces.append(
+                    MLPTrace(
+                        layer=layer,
+                        x=mlp_in.copy(),
+                        gate_preact=lw.w_gate_rows @ mlp_in,
+                    )
+                )
+            x = x + self._active_mlp.run(layer, mlp_in)
+        self.cache.advance()
+        final = rmsnorm(x, self.weights.final_norm, cfg.norm_eps)
+        return final @ self.weights.lm_head
+
+    def prefill(self, token_ids: Sequence[int]) -> np.ndarray:
+        """Run the prompt through the model; returns last-position logits.
+
+        SparseInfer applies sparsity only in the decoding phase
+        (Section V-C); callers wanting that semantics should prefill with a
+        dense executor -- :func:`repro.core.engine.build_engine` arranges
+        this automatically.
+        """
+        if not token_ids:
+            raise ValueError("prefill needs at least one token")
+        self._active_mlp = self.prefill_mlp
+        try:
+            logits = None
+            for tok in token_ids:
+                logits = self.forward_token(int(tok), self.cache.length)
+        finally:
+            self._active_mlp = self.mlp
+        return logits
+
+    def generate(
+        self,
+        prompt_ids: Sequence[int],
+        max_new_tokens: int,
+        stop_ids: Optional[set] = None,
+        keep_logits: bool = False,
+    ) -> GenerationResult:
+        """Greedy decoding from a prompt."""
+        if max_new_tokens < 0:
+            raise ValueError("max_new_tokens must be non-negative")
+        self.reset()
+        logits = self.prefill(list(prompt_ids))
+        result = GenerationResult(prompt_ids=list(prompt_ids), generated_ids=[])
+        for _ in range(max_new_tokens):
+            next_id = int(np.argmax(logits))
+            if stop_ids and next_id in stop_ids:
+                break
+            result.generated_ids.append(next_id)
+            if keep_logits:
+                result.logits_history.append(logits.copy())
+            logits = self.forward_token(next_id, self.cache.length)
+        return result

@@ -1,0 +1,11 @@
+"""RMSNorm for the numpy inference path."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rmsnorm(x: np.ndarray, weight: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Root-mean-square normalisation over the last axis (Llama-style)."""
+    ms = np.mean(np.square(x), axis=-1, keepdims=True)
+    return x / np.sqrt(ms + eps) * weight

@@ -1,0 +1,82 @@
+"""Token sampling strategies for the decode engine.
+
+The paper's evaluation decodes greedily (exact-match scoring); sampling
+strategies are provided for completeness of the inference substrate and
+for the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """Sampling hyper-parameters.
+
+    ``temperature == 0`` means greedy argmax.  ``top_k``/``top_p`` filter
+    the distribution before sampling (0 disables each filter).
+    """
+
+    temperature: float = 0.0
+    top_k: int = 0
+    top_p: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.temperature < 0:
+            raise ValueError(f"temperature must be >= 0, got {self.temperature}")
+        if self.top_k < 0:
+            raise ValueError(f"top_k must be >= 0, got {self.top_k}")
+        if not 0.0 <= self.top_p <= 1.0:
+            raise ValueError(f"top_p must be in [0, 1], got {self.top_p}")
+
+
+class Sampler:
+    """Stateful sampler (owns its RNG so generations are reproducible)."""
+
+    def __init__(self, config: Optional[SamplerConfig] = None):
+        self.config = config or SamplerConfig()
+        self._rng = np.random.default_rng(self.config.seed)
+
+    def sample(self, logits: np.ndarray) -> int:
+        """Pick the next token id from unnormalised logits."""
+        logits = np.asarray(logits, dtype=np.float64)
+        if logits.ndim != 1:
+            raise ValueError(f"logits must be 1-D, got shape {logits.shape}")
+        cfg = self.config
+        if cfg.temperature == 0.0:
+            return int(np.argmax(logits))
+        scaled = logits / cfg.temperature
+        if cfg.top_k:
+            kth = np.partition(scaled, -cfg.top_k)[-cfg.top_k]
+            scaled = np.where(scaled >= kth, scaled, -np.inf)
+        probs = _softmax(scaled)
+        if cfg.top_p:
+            probs = _nucleus_filter(probs, cfg.top_p)
+        return int(self._rng.choice(len(probs), p=probs))
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max()
+    e = np.exp(shifted)
+    return e / e.sum()
+
+
+def _nucleus_filter(probs: np.ndarray, top_p: float) -> np.ndarray:
+    """Zero out the tail outside the smallest set with mass >= top_p."""
+    order = np.argsort(probs)[::-1]
+    cumulative = np.cumsum(probs[order])
+    cut = int(np.searchsorted(cumulative, top_p)) + 1
+    keep = order[:cut]
+    filtered = np.zeros_like(probs)
+    filtered[keep] = probs[keep]
+    return filtered / filtered.sum()
+
+
+def greedy(logits: np.ndarray) -> int:
+    """Module-level greedy pick (what the paper's evaluation uses)."""
+    return int(np.argmax(np.asarray(logits)))

@@ -1,0 +1,82 @@
+"""Character-level tokenizer for the synthetic evaluation tasks.
+
+The accuracy experiments (Tables II-III) need a generative pipeline --
+prompt in, answer tokens out, exact-match scoring -- not a production BPE.
+A char-level vocabulary over the task alphabets keeps the trainable
+substrate small while exercising exactly the same decode path a real
+tokenizer would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+PAD_TOKEN = "<pad>"
+BOS_TOKEN = "<bos>"
+EOS_TOKEN = "<eos>"
+
+
+@dataclass(frozen=True)
+class CharTokenizer:
+    """Bidirectional char <-> id mapping with pad/bos/eos specials."""
+
+    alphabet: str
+    _stoi: dict = field(default_factory=dict, repr=False)
+    _itos: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        specials = [PAD_TOKEN, BOS_TOKEN, EOS_TOKEN]
+        chars = list(dict.fromkeys(self.alphabet))  # stable de-dup
+        stoi: dict = {tok: i for i, tok in enumerate(specials)}
+        for ch in chars:
+            if len(ch) != 1:
+                raise ValueError(f"alphabet entries must be single chars, got {ch!r}")
+            stoi[ch] = len(stoi)
+        itos = {i: tok for tok, i in stoi.items()}
+        object.__setattr__(self, "_stoi", stoi)
+        object.__setattr__(self, "_itos", itos)
+
+    @classmethod
+    def from_corpus(cls, texts) -> "CharTokenizer":
+        """Build from the set of characters appearing in ``texts``."""
+        chars = sorted({ch for text in texts for ch in text})
+        return cls(alphabet="".join(chars))
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self._stoi)
+
+    @property
+    def pad_id(self) -> int:
+        return self._stoi[PAD_TOKEN]
+
+    @property
+    def bos_id(self) -> int:
+        return self._stoi[BOS_TOKEN]
+
+    @property
+    def eos_id(self) -> int:
+        return self._stoi[EOS_TOKEN]
+
+    def encode(self, text: str, add_bos: bool = False, add_eos: bool = False) -> list:
+        try:
+            ids = [self._stoi[ch] for ch in text]
+        except KeyError as exc:
+            raise ValueError(f"character {exc.args[0]!r} not in vocabulary") from exc
+        if add_bos:
+            ids = [self.bos_id] + ids
+        if add_eos:
+            ids = ids + [self.eos_id]
+        return ids
+
+    def decode(self, ids, strip_specials: bool = True) -> str:
+        out = []
+        for i in ids:
+            tok = self._itos.get(int(i))
+            if tok is None:
+                raise ValueError(f"id {i} not in vocabulary")
+            if strip_specials and tok in (PAD_TOKEN, BOS_TOKEN, EOS_TOKEN):
+                continue
+            out.append(tok)
+        return "".join(out)

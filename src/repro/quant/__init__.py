@@ -1,0 +1,5 @@
+"""Quantised storage formats and sign-bit extraction (robustness claim)."""
+
+from .fp16 import fp16_roundtrip, from_fp16, to_fp16
+from .int8 import Int8Matrix, quantize_int8
+from .signbits import packed_signs_from, sign_bits

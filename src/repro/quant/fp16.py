@@ -1,0 +1,23 @@
+"""FP16 storage casting.
+
+FP16 is the paper's deployment precision; casting preserves sign bits
+exactly (IEEE-754 keeps the MSB as the sign in every binary float
+format), so the packed predictor state is identical in FP16 and FP32.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def to_fp16(array: np.ndarray) -> np.ndarray:
+    return np.asarray(array).astype(np.float16)
+
+
+def from_fp16(array: np.ndarray) -> np.ndarray:
+    return np.asarray(array, dtype=np.float16).astype(np.float32)
+
+
+def fp16_roundtrip(array: np.ndarray) -> np.ndarray:
+    """Simulate FP16 storage of FP32 weights."""
+    return from_fp16(to_fp16(array))

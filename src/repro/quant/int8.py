@@ -1,0 +1,52 @@
+"""Symmetric per-row INT8 quantisation.
+
+Supports the paper's quantisation-robustness claim (Section IV-A): the
+sign predictor "can be applied directly, regardless of the quantization
+scheme used", because symmetric quantisation preserves the sign of every
+element it does not round to zero -- and zeros are packed as positive,
+the conservative direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Int8Matrix:
+    """A symmetric per-row INT8 quantised matrix."""
+
+    values: np.ndarray  # int8, (k, d)
+    scales: np.ndarray  # float32, (k,) -- per-row dequant multipliers
+
+    @property
+    def shape(self) -> tuple:
+        return self.values.shape
+
+    @property
+    def nbytes(self) -> int:
+        return self.values.nbytes + self.scales.nbytes
+
+    def dequantize(self) -> np.ndarray:
+        return self.values.astype(np.float32) * self.scales[:, None]
+
+    def sign_source(self) -> np.ndarray:
+        """Array whose ``signbit`` matches the dequantised values.
+
+        INT8 values carry the sign directly; cast to float so it plugs
+        into :func:`repro.core.signpack.pack_signs` unchanged.
+        """
+        return self.values.astype(np.float32)
+
+
+def quantize_int8(matrix: np.ndarray) -> Int8Matrix:
+    """Symmetric per-row quantisation: ``q = round(w / s)``, ``s = max|w|/127``."""
+    matrix = np.asarray(matrix, dtype=np.float32)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected 2-D matrix, got shape {matrix.shape}")
+    max_abs = np.abs(matrix).max(axis=1)
+    scales = np.where(max_abs > 0, max_abs / 127.0, 1.0).astype(np.float32)
+    q = np.clip(np.round(matrix / scales[:, None]), -127, 127).astype(np.int8)
+    return Int8Matrix(values=q, scales=scales)

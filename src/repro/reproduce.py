@@ -1,0 +1,127 @@
+"""One-command reproduction driver: ``python -m repro.reproduce``.
+
+Regenerates every analytical table and figure of the paper (Table I,
+Section V-A, Figs. 2-4, the ablations) into a results directory and
+prints a paper-vs-measured summary.  The accuracy tables (II-III) are
+optional because they train the role models on first run (several
+minutes); enable with ``--accuracy``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _write(results_dir: Path, name: str, text: str) -> None:
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / name).write_text(text + "\n")
+    print(f"\n### {name}\n{text}")
+
+
+def run_analytical(results_dir: Path, quick: bool = False) -> None:
+    from .eval.distributions import figure2
+    from .eval.latency import figure4, format_figure4
+    from .eval.memusage import compare_predictor_memory, format_comparison
+    from .eval.opcounts import format_table1, table1
+    from .eval.overhead import predictor_overhead
+    from .eval.precision_recall import figure3_synthetic
+    from .gpu.device import jetson_orin_agx_64gb
+    from .model.config import prosparse_llama2_7b, prosparse_llama2_13b
+    from .model.synthetic import SyntheticActivationModel
+
+    cfg13, cfg7 = prosparse_llama2_13b(), prosparse_llama2_7b()
+    device = jetson_orin_agx_64gb()
+    n_tokens = 1 if quick else 3
+    n_rows = 64 if quick else 192
+    fig3_rows = 96 if quick else 256
+
+    _write(results_dir, "table1.txt", format_table1(table1(cfg13)))
+
+    rep = predictor_overhead(cfg13, device)
+    _write(
+        results_dir, "sec5a.txt",
+        f"predictor latency: SparseInfer {rep.sparseinfer_us:.1f} us "
+        f"(paper ~70), PowerInfer {rep.powerinfer_us:.1f} us, "
+        f"speedup {rep.speedup:.2f}x (paper 3.66x)\n"
+        + format_comparison(compare_predictor_memory(cfg13)),
+    )
+
+    synth = SyntheticActivationModel(cfg13, seed=0)
+    fig2 = figure2(synth, layers=[0, 1, 10, 39], n_tokens=max(2, n_tokens), n_rows=n_rows)
+    _write(
+        results_dir, "fig2.txt",
+        "\n".join(
+            f"layer {r.layer:2d}: X(std={r.x.std:.3f}, near0="
+            f"{r.x.near_zero_fraction:.1%}, pos={r.x.positive_fraction:.1%}) "
+            f"Y(mean/std={r.product_mean_normalised:+.4f})"
+            for r in fig2
+        ),
+    )
+
+    for cfg, tag in ((cfg13, "13B"), (cfg7, "7B")):
+        model = SyntheticActivationModel(cfg, seed=1)
+        points = figure3_synthetic(model, n_tokens=n_tokens, n_rows=fig3_rows)
+        _write(
+            results_dir, f"fig3_{tag}.txt",
+            "\n".join(
+                f"layer {p.layer:2d}: precision {p.precision:.4f} "
+                f"recall {p.recall:.4f}"
+                for p in points
+            ),
+        )
+
+    for cfg, tag in ((cfg13, "13B"), (cfg7, "7B")):
+        result = figure4(cfg, device, n_tokens=n_tokens, n_rows=n_rows)
+        _write(results_dir, f"fig4_{tag}.txt", format_figure4(result))
+
+
+def run_accuracy(results_dir: Path) -> None:
+    from .eval.accuracy import accuracy_table, format_table
+    from .eval.rolemodels import (
+        build_tokenizer,
+        evaluation_tasks,
+        load_role_model,
+        spec_13b_role,
+        spec_7b_role,
+    )
+
+    tokenizer = build_tokenizer()
+    tasks = evaluation_tasks(n_samples=120)
+    for spec, name in ((spec_13b_role(tokenizer), "table2_13b"),
+                       (spec_7b_role(tokenizer), "table3_7b")):
+        print(f"\ntraining/loading {spec.config.name} ...", flush=True)
+        weights = load_role_model(spec, tokenizer)
+        table = accuracy_table(
+            weights, tokenizer, tasks, include_random_baseline=True
+        )
+        _write(results_dir, f"{name}.txt", format_table(table))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the SparseInfer paper's tables and figures."
+    )
+    parser.add_argument(
+        "--results-dir", type=Path,
+        default=Path(__file__).resolve().parents[2] / "reproduction_results",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced Monte-Carlo sampling (for smoke tests)",
+    )
+    parser.add_argument(
+        "--accuracy", action="store_true",
+        help="also run Tables II-III (trains role models on first run)",
+    )
+    args = parser.parse_args(argv)
+    run_analytical(args.results_dir, quick=args.quick)
+    if args.accuracy:
+        run_accuracy(args.results_dir)
+    print(f"\nresults written to {args.results_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Training pipeline: LM training, ReLUfication, ProSparse regularisation."""
+
+from .data import Batch, batches_from_task, make_batch
+from .lm import TrainableLM
+from .prosparse import ProgressiveL1Schedule, gate_l1_penalty
+from .relufication import relufy
+from .trainer import TrainReport, TrainSettings, train, train_or_load

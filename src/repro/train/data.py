@@ -1,0 +1,88 @@
+"""Batch construction for task training.
+
+Sequences are ``<bos> prompt answer <eos>`` padded to a common length;
+targets are next-token ids with ``-1`` everywhere except the answer span
+(and the closing ``<eos>``), so the loss concentrates on producing the
+answer -- the quantity the exact-match evaluation scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..model.tokenizer import CharTokenizer
+from ..workloads.gsm8k_like import TaskSample
+
+IGNORE_INDEX = -1
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One training batch: inputs, shifted targets and the raw samples."""
+
+    tokens: np.ndarray    # (B, T) int
+    targets: np.ndarray   # (B, T) int, IGNORE_INDEX-masked
+
+    @property
+    def batch_size(self) -> int:
+        return self.tokens.shape[0]
+
+    @property
+    def seq_len(self) -> int:
+        return self.tokens.shape[1]
+
+
+def encode_sample(
+    sample: TaskSample, tokenizer: CharTokenizer
+) -> tuple[list, int]:
+    """Token ids of ``<bos> prompt answer <eos>`` and the answer offset.
+
+    The offset is the index of the first *answer* token within the ids.
+    """
+    prompt_ids = tokenizer.encode(sample.prompt, add_bos=True)
+    answer_ids = tokenizer.encode(sample.answer, add_eos=True)
+    return prompt_ids + answer_ids, len(prompt_ids)
+
+
+def make_batch(
+    samples: list, tokenizer: CharTokenizer, answer_only_loss: bool = True
+) -> Batch:
+    """Pad samples to a common length and build masked next-token targets."""
+    if not samples:
+        raise ValueError("empty batch")
+    encoded = [encode_sample(s, tokenizer) for s in samples]
+    max_len = max(len(ids) for ids, _ in encoded)
+    pad = tokenizer.pad_id
+    tokens = np.full((len(samples), max_len), pad, dtype=np.int64)
+    targets = np.full((len(samples), max_len), IGNORE_INDEX, dtype=np.int64)
+    for row, (ids, answer_start) in enumerate(encoded):
+        n = len(ids)
+        tokens[row, :n] = ids
+        # Next-token prediction: position t predicts ids[t+1].
+        loss_from = answer_start - 1 if answer_only_loss else 0
+        for t in range(loss_from, n - 1):
+            targets[row, t] = ids[t + 1]
+    return Batch(tokens=tokens, targets=targets)
+
+
+def batches_from_task(
+    generate_fn,
+    tokenizer: CharTokenizer,
+    n_batches: int,
+    batch_size: int,
+    seed: int = 0,
+    answer_only_loss: bool = True,
+    **task_kwargs,
+) -> list:
+    """Pre-built batch list from a workload generator function."""
+    samples = generate_fn(n_batches * batch_size, seed=seed, **task_kwargs)
+    return [
+        make_batch(
+            samples[i * batch_size:(i + 1) * batch_size],
+            tokenizer,
+            answer_only_loss,
+        )
+        for i in range(n_batches)
+    ]

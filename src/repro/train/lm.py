@@ -1,0 +1,171 @@
+"""Trainable Llama-style decoder LM on the numpy autograd engine.
+
+Used to produce the "role" models of the accuracy experiments
+(Tables II-III): small gate-based-MLP transformers trained from scratch on
+the synthetic tasks, optionally with SiLU first and ReLUfication +
+ProSparse regularisation afterwards -- the same pipeline that produced the
+paper's ProSparse-Llama2 models, at laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..autograd.functional import (
+    apply_rope,
+    causal_attention,
+    cross_entropy,
+    embedding,
+    rmsnorm,
+    rope_rotation,
+)
+from ..autograd.tensor import Tensor, parameter
+from ..model.config import ModelConfig
+from ..model.weights import LayerWeights, ModelWeights
+
+
+@dataclass
+class ForwardOutput:
+    """Logits plus the auxiliary activations regularisers need."""
+
+    logits: Tensor
+    gate_activations: list  # one (B, T, k) Tensor per layer (post-activation)
+
+
+class TrainableLM:
+    """A gate-based-MLP decoder LM with trainable parameters.
+
+    Parameter layout uses ``x @ W`` (input-major) matrices; exporting to
+    the inference engine transposes the MLP projections into the row-major
+    sparse-GEMV layout (see :mod:`repro.model.weights`).
+    """
+
+    def __init__(self, config: ModelConfig, seed: int = 0):
+        self.config = config
+        rng = np.random.default_rng(seed)
+        d, k, v = config.d_model, config.d_ff, config.vocab_size
+        scale = 0.02
+        out_scale = scale / np.sqrt(2.0 * config.n_layers)  # GPT-2-style
+
+        self.tok_embed = parameter((v, d), rng, scale, "tok_embed")
+        self.layers: list[dict] = []
+        for i in range(config.n_layers):
+            self.layers.append(
+                {
+                    "attn_norm": Tensor(np.ones(d, dtype=np.float32), requires_grad=True),
+                    "wq": parameter((d, d), rng, scale, f"l{i}.wq"),
+                    "wk": parameter((d, d), rng, scale, f"l{i}.wk"),
+                    "wv": parameter((d, d), rng, scale, f"l{i}.wv"),
+                    "wo": parameter((d, d), rng, out_scale, f"l{i}.wo"),
+                    "mlp_norm": Tensor(np.ones(d, dtype=np.float32), requires_grad=True),
+                    "w_gate": parameter((d, k), rng, scale, f"l{i}.w_gate"),
+                    "w_up": parameter((d, k), rng, scale, f"l{i}.w_up"),
+                    "w_down": parameter((k, d), rng, out_scale, f"l{i}.w_down"),
+                }
+            )
+        self.final_norm = Tensor(np.ones(d, dtype=np.float32), requires_grad=True)
+        self.lm_head = parameter((d, v), rng, scale, "lm_head")
+
+    # -- parameters ---------------------------------------------------------
+
+    def parameters(self) -> list:
+        params = [self.tok_embed, self.final_norm, self.lm_head]
+        for layer in self.layers:
+            params.extend(layer.values())
+        return params
+
+    def n_parameters(self) -> int:
+        return sum(p.data.size for p in self.parameters())
+
+    # -- forward --------------------------------------------------------------
+
+    def _gate_activation(self, preact: Tensor) -> Tensor:
+        kind = self.config.activation
+        if kind == "relu":
+            return preact.relu()
+        if kind == "silu":
+            return preact.silu()
+        return preact.fatrelu(self.config.fatrelu_threshold)
+
+    def forward(self, tokens: np.ndarray,
+                collect_gate_activations: bool = False) -> ForwardOutput:
+        """Full-sequence forward pass; ``tokens`` has shape ``(B, T)``."""
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ValueError(f"tokens must be 2-D (batch, seq), got {tokens.shape}")
+        cfg = self.config
+        _, seq = tokens.shape
+        cos, sin = rope_rotation(seq, cfg.head_dim, cfg.rope_theta)
+        x = embedding(self.tok_embed, tokens)
+        gate_acts: list = []
+        for layer in self.layers:
+            attn_in = rmsnorm(x, layer["attn_norm"], cfg.norm_eps)
+            q = attn_in @ layer["wq"]
+            k = attn_in @ layer["wk"]
+            v = attn_in @ layer["wv"]
+            q = self._rope_heads(q, cos, sin)
+            k = self._rope_heads(k, cos, sin)
+            attn = causal_attention(q, k, v, cfg.n_heads)
+            x = x + attn @ layer["wo"]
+            mlp_in = rmsnorm(x, layer["mlp_norm"], cfg.norm_eps)
+            h1 = self._gate_activation(mlp_in @ layer["w_gate"])
+            if collect_gate_activations:
+                gate_acts.append(h1)
+            h2 = mlp_in @ layer["w_up"]
+            x = x + (h1 * h2) @ layer["w_down"]
+        x = rmsnorm(x, self.final_norm, cfg.norm_eps)
+        return ForwardOutput(logits=x @ self.lm_head, gate_activations=gate_acts)
+
+    def _rope_heads(self, t: Tensor, cos: np.ndarray, sin: np.ndarray) -> Tensor:
+        cfg = self.config
+        batch, seq, _ = t.shape
+        heads = t.reshape(batch, seq, cfg.n_heads, cfg.head_dim).transpose(0, 2, 1, 3)
+        rotated = apply_rope(heads, cos, sin)
+        return rotated.transpose(0, 2, 1, 3).reshape(batch, seq, cfg.d_model)
+
+    def loss(self, tokens: np.ndarray, targets: np.ndarray,
+             collect_gate_activations: bool = False) -> tuple[Tensor, ForwardOutput]:
+        """Cross-entropy next-token loss with ``-1``-masked targets."""
+        out = self.forward(tokens, collect_gate_activations)
+        return cross_entropy(out.logits, targets), out
+
+    # -- export ----------------------------------------------------------------
+
+    def export_weights(self) -> ModelWeights:
+        """Snapshot parameters into the inference (row-major) layout."""
+        cfg = self.config
+        layers = []
+        for layer in self.layers:
+            layers.append(
+                LayerWeights(
+                    attn_norm=layer["attn_norm"].data.copy(),
+                    wq=layer["wq"].data.copy(),
+                    wk=layer["wk"].data.copy(),
+                    wv=layer["wv"].data.copy(),
+                    wo=layer["wo"].data.copy(),
+                    mlp_norm=layer["mlp_norm"].data.copy(),
+                    w_gate_rows=np.ascontiguousarray(layer["w_gate"].data.T),
+                    w_up_rows=np.ascontiguousarray(layer["w_up"].data.T),
+                    w_down_rows=layer["w_down"].data.copy(),
+                )
+            )
+        weights = ModelWeights(
+            config=cfg,
+            tok_embed=self.tok_embed.data.copy(),
+            layers=layers,
+            final_norm=self.final_norm.data.copy(),
+            lm_head=self.lm_head.data.copy(),
+        )
+        weights.validate()
+        return weights
+
+    def set_activation(self, kind: str, threshold: float = 0.0) -> None:
+        """Swap the gate nonlinearity in place (ReLUfication)."""
+        from dataclasses import replace
+
+        self.config = replace(
+            self.config, activation=kind, fatrelu_threshold=threshold
+        )

@@ -1,0 +1,58 @@
+"""ReLUfication: swap SiLU for ReLU and recover accuracy by fine-tuning.
+
+Mirzadeh et al. ("ReLU Strikes Back") showed that replacing the SiLU gate
+activation of a pre-trained LLM with ReLU, followed by a short fine-tune,
+recovers accuracy while inducing large activation sparsity -- the
+precondition for SparseInfer.  This module reproduces the pipeline on the
+trainable role models:
+
+1. train (or receive) a SiLU model,
+2. swap the gate activation to ReLU,
+3. fine-tune, optionally with the ProSparse L1 ramp,
+4. optionally calibrate a FATReLU threshold for extra sparsity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .lm import TrainableLM
+from .prosparse import calibrate_fatrelu_threshold
+from .trainer import TrainReport, TrainSettings, train
+
+
+@dataclass
+class ReluficationResult:
+    """Outcome of the ReLUfication pipeline."""
+
+    finetune_report: TrainReport
+    fatrelu_threshold: float = 0.0
+
+
+def relufy(
+    model: TrainableLM,
+    batches: list,
+    finetune_settings: TrainSettings,
+    fatrelu_target_sparsity: float = 0.0,
+    rng_seed: int = 0,
+) -> ReluficationResult:
+    """Apply ReLUfication to a (typically SiLU-trained) model in place."""
+    model.set_activation("relu")
+    report = train(model, batches, finetune_settings, rng_seed=rng_seed)
+    threshold = 0.0
+    if fatrelu_target_sparsity > 0.0:
+        # Sample pre-activations from one batch to place the threshold.
+        out = model.forward(batches[0].tokens, collect_gate_activations=True)
+        import numpy as np
+
+        preacts = np.concatenate(
+            [act.data.reshape(-1) for act in out.gate_activations]
+        )
+        threshold = calibrate_fatrelu_threshold(preacts, fatrelu_target_sparsity)
+        model.set_activation("fatrelu", threshold)
+    return ReluficationResult(finetune_report=report, fatrelu_threshold=threshold)
+
+
+def silu_pretrain_settings(settings: TrainSettings) -> TrainSettings:
+    """Settings for the SiLU pre-training stage (no sparsity penalty)."""
+    return replace(settings, l1_peak=0.0)

@@ -1,0 +1,141 @@
+"""Training loop for the role models.
+
+Combines the LM loss with the ProSparse L1 gate penalty, tracks loss and
+measured gate sparsity, and supports deterministic caching of trained
+weights so benchmarks don't retrain on every invocation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..autograd.optim import Adam, clip_grad_norm
+from ..model.config import ModelConfig
+from ..model.weights import ModelWeights
+from .data import Batch
+from .lm import TrainableLM
+from .prosparse import (
+    ProgressiveL1Schedule,
+    gate_l1_penalty,
+    measured_gate_sparsity,
+)
+
+
+@dataclass
+class TrainReport:
+    """Loss / sparsity trajectory of one training run."""
+
+    losses: list = field(default_factory=list)
+    gate_sparsities: list = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    @property
+    def final_gate_sparsity(self) -> float:
+        return self.gate_sparsities[-1] if self.gate_sparsities else 0.0
+
+
+@dataclass
+class TrainSettings:
+    """Hyper-parameters of one training run."""
+
+    steps: int = 600
+    lr: float = 3e-3
+    weight_decay: float = 0.01
+    grad_clip: float = 1.0
+    l1_peak: float = 0.0          # ProSparse gate regularisation strength
+    l1_warmup_fraction: float = 0.6
+    log_every: int = 50
+
+
+def train(
+    model: TrainableLM,
+    batches: list,
+    settings: TrainSettings,
+    rng_seed: int = 0,
+) -> TrainReport:
+    """Run the training loop; batches are cycled deterministically."""
+    if not batches:
+        raise ValueError("no training batches")
+    optimizer = Adam(
+        model.parameters(), lr=settings.lr, weight_decay=settings.weight_decay
+    )
+    schedule = ProgressiveL1Schedule(
+        peak=settings.l1_peak,
+        total_steps=settings.steps,
+        warmup_fraction=settings.l1_warmup_fraction,
+    )
+    order = np.random.default_rng(rng_seed).permutation(len(batches))
+    report = TrainReport()
+    collect = settings.l1_peak > 0.0
+    for step in range(settings.steps):
+        batch: Batch = batches[order[step % len(order)]]
+        optimizer.zero_grad()
+        loss, out = model.loss(
+            batch.tokens, batch.targets, collect_gate_activations=collect
+        )
+        total = loss
+        if collect:
+            coef = schedule.coefficient(step)
+            if coef > 0.0:
+                total = total + gate_l1_penalty(out.gate_activations) * coef
+        total.backward()
+        clip_grad_norm(model.parameters(), settings.grad_clip)
+        optimizer.step()
+        if step % settings.log_every == 0 or step == settings.steps - 1:
+            report.losses.append(float(loss.item()))
+            report.gate_sparsities.append(
+                measured_gate_sparsity(out.gate_activations) if collect else 0.0
+            )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Trained-weights cache
+# ---------------------------------------------------------------------------
+
+def default_cache_dir() -> Path:
+    return Path(__file__).resolve().parents[3] / ".weight_cache"
+
+
+def _cache_key(config: ModelConfig, task: str, settings: TrainSettings,
+               seed: int) -> str:
+    blob = (
+        f"{config.name}|{config.vocab_size}|{config.d_model}|{config.n_layers}"
+        f"|{config.n_heads}|{config.d_ff}|{config.activation}"
+        f"|{task}|{settings.steps}|{settings.lr}|{settings.l1_peak}"
+        f"|{settings.weight_decay}|{seed}|v1"
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def train_or_load(
+    config: ModelConfig,
+    task: str,
+    batches: list,
+    settings: TrainSettings,
+    seed: int = 0,
+    cache_dir: Optional[Path] = None,
+) -> ModelWeights:
+    """Train a role model, caching the exported weights on disk.
+
+    Repeated benchmark runs with identical settings load the ``.npz``
+    snapshot instead of retraining.
+    """
+    cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = cache_dir / f"{_cache_key(config, task, settings, seed)}.npz"
+    if path.exists():
+        return ModelWeights.load(path, config)
+    model = TrainableLM(config, seed=seed)
+    train(model, batches, settings, rng_seed=seed)
+    weights = model.export_weights()
+    weights.save(path)
+    return weights

@@ -1,0 +1,5 @@
+"""Synthetic generative tasks standing in for GSM8K and BBH."""
+
+from . import bbh_like, gsm8k_like
+from .fewshot import build_fewshot_prompt, fewshot_set
+from .gsm8k_like import TaskSample

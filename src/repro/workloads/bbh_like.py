@@ -1,0 +1,64 @@
+"""Synthetic stand-in for the BIG-Bench-Hard (BBH) benchmark.
+
+BBH's boolean-expressions subtask evaluates nested boolean formulas; we
+generate flat left-to-right boolean chains over ``T`` / ``F`` with ``&``
+(and), ``|`` (or) and ``!`` (not).  As in :mod:`repro.workloads.gsm8k_like`
+the answer is the *chain of running results*, e.g. ``Q:!T&F|T=A:`` is
+answered ``FFT`` (!T=F, F&F=F, F|T=T) -- multi-token answers route the
+evaluation through the sparsified decode steps.  Exact-match scoring with
+partial baseline accuracy on a small trained model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gsm8k_like import TaskSample, ANSWER_SEP
+
+ALPHABET = "TF&|!=QA:"
+
+
+def _evaluate_chain(first: bool, negate_first: bool, ops: list, values: list,
+                    negates: list) -> list:
+    """Running results: the resolved first term, then after each operator."""
+    acc = (not first) if negate_first else first
+    chain = [acc]
+    for op, val, neg in zip(ops, values, negates):
+        operand = (not val) if neg else val
+        acc = (acc and operand) if op == "&" else (acc or operand)
+        chain.append(acc)
+    return chain
+
+
+def make_problem(rng: np.random.Generator, n_terms: int = 3) -> TaskSample:
+    """Draw one boolean-chain problem (left-to-right evaluation).
+
+    The answer has ``n_terms`` characters: the resolved first term
+    followed by the running result after each operator.
+    """
+    if n_terms < 2:
+        raise ValueError(f"need at least 2 terms, got {n_terms}")
+    values = rng.integers(0, 2, size=n_terms).astype(bool)
+    negates = rng.random(n_terms) < 0.25
+    ops = ["&" if b else "|" for b in rng.integers(0, 2, size=n_terms - 1)]
+    expr = ("!" if negates[0] else "") + ("T" if values[0] else "F")
+    for op, val, neg in zip(ops, values[1:], negates[1:]):
+        expr += op + ("!" if neg else "") + ("T" if val else "F")
+    chain = _evaluate_chain(values[0], negates[0], ops, list(values[1:]),
+                            list(negates[1:]))
+    return TaskSample(
+        prompt=f"Q:{expr}={ANSWER_SEP}",
+        answer="".join("T" if v else "F" for v in chain),
+    )
+
+
+def generate(n_samples: int, seed: int = 0, n_terms: int = 3) -> list[TaskSample]:
+    """Deterministic problem set (same seed -> same problems)."""
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be positive, got {n_samples}")
+    rng = np.random.default_rng(seed)
+    return [make_problem(rng, n_terms) for _ in range(n_samples)]
+
+
+def task_name() -> str:
+    return "bbh-like"

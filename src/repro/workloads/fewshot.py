@@ -1,0 +1,41 @@
+"""Few-shot prompt construction (the paper evaluates GSM8K 8-shot).
+
+Prepends ``n_shots`` solved exemplars to each test prompt, separated by
+newline-free concatenation (the char vocabulary has no newline; exemplars
+are self-delimiting through the ``Q:``/``A:`` markers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .gsm8k_like import TaskSample
+
+
+def build_fewshot_prompt(
+    exemplars: Sequence[TaskSample], sample: TaskSample
+) -> TaskSample:
+    """A new sample whose prompt carries the solved exemplars in front."""
+    prefix = "".join(ex.text for ex in exemplars)
+    return TaskSample(prompt=prefix + sample.prompt, answer=sample.answer)
+
+
+def fewshot_set(
+    generate_fn: Callable[..., list],
+    n_samples: int,
+    n_shots: int = 8,
+    seed: int = 0,
+    **kwargs,
+) -> list:
+    """Few-shot evaluation set from any workload ``generate`` function.
+
+    Exemplars are drawn from a disjoint seed so they never leak test
+    problems.
+    """
+    if n_shots < 0:
+        raise ValueError(f"n_shots must be non-negative, got {n_shots}")
+    exemplars = generate_fn(max(n_shots, 1), seed=seed + 10_000, **kwargs)[:n_shots]
+    tests = generate_fn(n_samples, seed=seed, **kwargs)
+    return [build_fewshot_prompt(exemplars, t) for t in tests]

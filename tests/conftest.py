@@ -1,0 +1,60 @@
+"""Shared fixtures.
+
+The thread-limiting env vars must be set before numpy initialises its
+BLAS thread pool: the role models are small enough that thread fan-out
+costs far more than it saves.
+"""
+
+import os
+
+for _var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS",
+             "NUMEXPR_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import numpy as np
+import pytest
+
+from repro.model.config import ModelConfig, tiny_7b_role
+from repro.model.tokenizer import CharTokenizer
+from repro.model.weights import ModelWeights, random_weights
+from repro.workloads import gsm8k_like
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def gsm_tokenizer() -> CharTokenizer:
+    return CharTokenizer(gsm8k_like.ALPHABET)
+
+
+@pytest.fixture(scope="session")
+def tiny_config(gsm_tokenizer) -> ModelConfig:
+    return tiny_7b_role(vocab_size=gsm_tokenizer.vocab_size)
+
+
+@pytest.fixture(scope="session")
+def tiny_weights(tiny_config) -> ModelWeights:
+    return random_weights(tiny_config, seed=7)
+
+
+@pytest.fixture(scope="session")
+def micro_config() -> ModelConfig:
+    """Very small config for expensive per-test model construction."""
+    return ModelConfig(
+        name="micro",
+        vocab_size=19,
+        d_model=32,
+        n_layers=2,
+        n_heads=2,
+        d_ff=64,
+        max_seq_len=64,
+        dtype_bytes=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def micro_weights(micro_config) -> ModelWeights:
+    return random_weights(micro_config, seed=11)

@@ -1,0 +1,179 @@
+"""Gradient and semantics checks for the fused NN ops."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.functional import (
+    apply_rope,
+    causal_attention,
+    cross_entropy,
+    embedding,
+    rmsnorm,
+    rope_rotation,
+    softmax,
+)
+from repro.autograd.tensor import Tensor
+
+from .test_autograd_tensor import check_gradient
+
+
+class TestEmbedding:
+    def test_lookup(self, rng):
+        table = Tensor(rng.standard_normal((7, 4)).astype(np.float32))
+        ids = np.array([[0, 3], [6, 3]])
+        out = embedding(table, ids)
+        np.testing.assert_allclose(out.data[1, 0], table.data[6])
+
+    def test_gradient_scatter_adds_duplicates(self, rng):
+        table = Tensor(rng.standard_normal((5, 3)).astype(np.float32),
+                       requires_grad=True)
+        ids = np.array([[1, 1, 2]])
+        embedding(table, ids).sum().backward()
+        np.testing.assert_allclose(table.grad[1], [2.0, 2.0, 2.0])
+        np.testing.assert_allclose(table.grad[2], [1.0, 1.0, 1.0])
+        np.testing.assert_allclose(table.grad[0], [0.0, 0.0, 0.0])
+
+
+class TestRMSNorm:
+    def test_unit_rms_output(self, rng):
+        x = Tensor(rng.standard_normal((2, 8)).astype(np.float32) * 3.0)
+        w = Tensor(np.ones(8, dtype=np.float32))
+        out = rmsnorm(x, w)
+        rms = np.sqrt(np.mean(out.data ** 2, axis=-1))
+        np.testing.assert_allclose(rms, 1.0, atol=1e-3)
+
+    def test_gradient_x(self, rng):
+        w = Tensor(rng.standard_normal(6).astype(np.float32))
+        x0 = rng.standard_normal((2, 6)).astype(np.float32)
+        check_gradient(
+            lambda t: (rmsnorm(t, w) * np.arange(6, dtype=np.float32)).sum(),
+            x0,
+        )
+
+    def test_gradient_weight(self, rng):
+        x = Tensor(rng.standard_normal((3, 6)).astype(np.float32))
+        w0 = rng.standard_normal(6).astype(np.float32)
+
+        def fn(t):
+            return (rmsnorm(x, t) ** 2.0).sum()
+
+        check_gradient(fn, w0)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = Tensor(rng.standard_normal((4, 9)).astype(np.float32) * 5.0)
+        out = softmax(x)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, atol=1e-5)
+
+    def test_shift_invariance(self, rng):
+        x = rng.standard_normal((2, 5)).astype(np.float32)
+        a = softmax(Tensor(x)).data
+        b = softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-5)
+
+    def test_gradient(self, rng):
+        x0 = rng.standard_normal((2, 5)).astype(np.float32)
+        weights = rng.standard_normal((2, 5)).astype(np.float32)
+        check_gradient(lambda t: (softmax(t) * weights).sum(), x0)
+
+
+class TestCrossEntropy:
+    def test_matches_manual_nll(self, rng):
+        logits = rng.standard_normal((4, 6)).astype(np.float32)
+        targets = np.array([0, 2, 5, 1])
+        loss = cross_entropy(Tensor(logits), targets)
+        probs = np.exp(logits - logits.max(axis=1, keepdims=True))
+        probs /= probs.sum(axis=1, keepdims=True)
+        expected = -np.mean(np.log(probs[np.arange(4), targets]))
+        assert float(loss.data) == pytest.approx(expected, abs=1e-5)
+
+    def test_ignore_index_masks_positions(self, rng):
+        logits = rng.standard_normal((4, 6)).astype(np.float32)
+        targets = np.array([0, -1, -1, 1])
+        loss = cross_entropy(Tensor(logits), targets)
+        sub = cross_entropy(Tensor(logits[[0, 3]]), np.array([0, 1]))
+        assert float(loss.data) == pytest.approx(float(sub.data), abs=1e-6)
+
+    def test_gradient(self, rng):
+        targets = np.array([1, 0, 3])
+        x0 = rng.standard_normal((3, 4)).astype(np.float32)
+        check_gradient(lambda t: cross_entropy(t, targets), x0)
+
+    def test_gradient_zero_at_ignored(self, rng):
+        logits = Tensor(rng.standard_normal((2, 4)).astype(np.float32),
+                        requires_grad=True)
+        cross_entropy(logits, np.array([-1, 2])).backward()
+        np.testing.assert_allclose(logits.grad[0], 0.0, atol=1e-8)
+        assert np.abs(logits.grad[1]).sum() > 0
+
+
+class TestRoPE:
+    def test_rotation_preserves_norm(self, rng):
+        cos, sin = rope_rotation(5, 8)
+        x = rng.standard_normal((2, 5, 8)).astype(np.float32)
+        out = apply_rope(Tensor(x), cos, sin)
+        np.testing.assert_allclose(
+            np.linalg.norm(out.data, axis=-1),
+            np.linalg.norm(x, axis=-1),
+            atol=1e-4,
+        )
+
+    def test_position_zero_is_identity(self, rng):
+        cos, sin = rope_rotation(1, 8)
+        x = rng.standard_normal((1, 1, 8)).astype(np.float32)
+        out = apply_rope(Tensor(x), cos, sin)
+        np.testing.assert_allclose(out.data, x, atol=1e-6)
+
+    def test_offset_matches_shifted_table(self):
+        cos_a, sin_a = rope_rotation(6, 4)
+        cos_b, sin_b = rope_rotation(3, 4, offset=3)
+        np.testing.assert_allclose(cos_a[3:], cos_b, atol=1e-6)
+        np.testing.assert_allclose(sin_a[3:], sin_b, atol=1e-6)
+
+    def test_gradient_is_inverse_rotation(self, rng):
+        cos, sin = rope_rotation(3, 4)
+        x0 = rng.standard_normal((1, 3, 4)).astype(np.float32)
+        w = rng.standard_normal((1, 3, 4)).astype(np.float32)
+        check_gradient(lambda t: (apply_rope(t, cos, sin) * w).sum(), x0)
+
+    def test_odd_head_dim_rejected(self):
+        with pytest.raises(ValueError):
+            rope_rotation(4, 5)
+
+
+class TestCausalAttention:
+    def test_causality(self, rng):
+        """Changing a later token must not affect earlier outputs."""
+        q = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        k = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        v = rng.standard_normal((1, 4, 8)).astype(np.float32)
+        out1 = causal_attention(Tensor(q), Tensor(k), Tensor(v), 2).data
+        k2, v2 = k.copy(), v.copy()
+        k2[0, 3] += 10.0
+        v2[0, 3] -= 5.0
+        out2 = causal_attention(Tensor(q), Tensor(k2), Tensor(v2), 2).data
+        np.testing.assert_allclose(out1[0, :3], out2[0, :3], atol=1e-5)
+        assert not np.allclose(out1[0, 3], out2[0, 3])
+
+    def test_first_position_attends_only_itself(self, rng):
+        q = rng.standard_normal((1, 3, 4)).astype(np.float32)
+        k = rng.standard_normal((1, 3, 4)).astype(np.float32)
+        v = rng.standard_normal((1, 3, 4)).astype(np.float32)
+        out = causal_attention(Tensor(q), Tensor(k), Tensor(v), 1).data
+        np.testing.assert_allclose(out[0, 0], v[0, 0], atol=1e-5)
+
+    def test_gradient_flows(self, rng):
+        q = Tensor(rng.standard_normal((1, 3, 4)).astype(np.float32),
+                   requires_grad=True)
+        k = Tensor(rng.standard_normal((1, 3, 4)).astype(np.float32),
+                   requires_grad=True)
+        v = Tensor(rng.standard_normal((1, 3, 4)).astype(np.float32),
+                   requires_grad=True)
+        causal_attention(q, k, v, 2).sum().backward()
+        assert q.grad is not None and k.grad is not None and v.grad is not None
+
+    def test_head_mismatch_rejected(self, rng):
+        q = Tensor(rng.standard_normal((1, 2, 6)).astype(np.float32))
+        with pytest.raises(ValueError):
+            causal_attention(q, q, q, 4)

@@ -1,0 +1,201 @@
+"""Numeric gradient checks for the autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.tensor import Tensor, parameter, unbroadcast, zeros
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued fn."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = fn(x)
+        x[idx] = orig - eps
+        lo = fn(x)
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(make_output, x0: np.ndarray, atol: float = 2e-2):
+    """Compare autograd gradient to central differences."""
+    t = Tensor(x0.copy(), requires_grad=True)
+    out = make_output(t)
+    out.backward()
+    auto = t.grad.astype(np.float64)
+
+    def scalar_fn(arr):
+        return float(make_output(Tensor(arr.copy())).data)
+
+    num = numeric_grad(scalar_fn, x0.copy().astype(np.float64))
+    np.testing.assert_allclose(auto, num, atol=atol, rtol=1e-2)
+
+
+@pytest.fixture
+def x3(rng):
+    return rng.standard_normal((3, 4)).astype(np.float32)
+
+
+class TestArithmeticGradients:
+    def test_add(self, x3):
+        check_gradient(lambda t: (t + 2.0).sum(), x3)
+
+    def test_mul(self, x3):
+        check_gradient(lambda t: (t * t).sum(), x3)
+
+    def test_sub_and_neg(self, x3):
+        check_gradient(lambda t: (1.0 - t).sum(), x3)
+
+    def test_div(self, x3):
+        check_gradient(lambda t: (t / 2.0 + 1.0 / (t + 5.0)).sum(), x3)
+
+    def test_pow(self, x3):
+        check_gradient(lambda t: ((t * t + 1.0) ** 1.5).sum(), x3)
+
+    def test_broadcast_add(self, rng):
+        a = rng.standard_normal((3, 4)).astype(np.float32)
+        b = Tensor(rng.standard_normal((4,)).astype(np.float32),
+                   requires_grad=True)
+        out = (Tensor(a) + b).sum()
+        out.backward()
+        np.testing.assert_allclose(b.grad, np.full(4, 3.0), atol=1e-5)
+
+    def test_matmul(self, rng):
+        a = rng.standard_normal((3, 4)).astype(np.float32)
+        w = rng.standard_normal((4, 5)).astype(np.float32)
+        check_gradient(lambda t: (t @ Tensor(w)).sum(), a)
+
+    def test_batched_matmul_grad_shapes(self, rng):
+        a = Tensor(rng.standard_normal((2, 3, 4)).astype(np.float32),
+                   requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 4, 5)).astype(np.float32),
+                   requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == (2, 3, 4)
+        assert b.grad.shape == (2, 4, 5)
+
+
+class TestReductionsAndShapes:
+    def test_sum_axis(self, x3):
+        check_gradient(lambda t: (t.sum(axis=0) * 2.0).sum(), x3)
+
+    def test_sum_keepdims(self, x3):
+        check_gradient(lambda t: (t * t.sum(axis=1, keepdims=True)).sum(), x3)
+
+    def test_mean(self, x3):
+        check_gradient(lambda t: (t.mean(axis=1) ** 2.0).sum(), x3)
+
+    def test_max_routes_to_argmax(self):
+        t = Tensor(np.array([[1.0, 5.0, 2.0]]), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        np.testing.assert_allclose(t.grad, [[0.0, 1.0, 0.0]])
+
+    def test_reshape(self, x3):
+        check_gradient(lambda t: (t.reshape(12) * np.arange(12)).sum(), x3)
+
+    def test_transpose(self, x3):
+        check_gradient(lambda t: (t.transpose(1, 0) @ Tensor(
+            np.ones((3, 2), dtype=np.float32))).sum(), x3)
+
+    def test_getitem(self, x3):
+        check_gradient(lambda t: (t[1:, :2] * 3.0).sum(), x3)
+
+
+class TestNonlinearityGradients:
+    def test_relu(self, x3):
+        check_gradient(lambda t: t.relu().sum(), x3 + 0.05)
+
+    def test_silu(self, x3):
+        check_gradient(lambda t: t.silu().sum(), x3)
+
+    def test_fatrelu(self, x3):
+        check_gradient(lambda t: t.fatrelu(0.3).sum(), x3 + 0.05)
+
+    def test_sigmoid(self, x3):
+        check_gradient(lambda t: t.sigmoid().sum(), x3)
+
+    def test_tanh(self, x3):
+        check_gradient(lambda t: t.tanh().sum(), x3)
+
+    def test_exp_log(self, x3):
+        check_gradient(lambda t: ((t * t + 1.0).log() + (t * 0.1).exp()).sum(), x3)
+
+    def test_abs(self, x3):
+        check_gradient(lambda t: t.abs().sum(), x3 + 0.05)
+
+    def test_silu_matches_definition(self, rng):
+        x = rng.standard_normal(10).astype(np.float32)
+        out = Tensor(x).silu()
+        np.testing.assert_allclose(
+            out.data, x / (1 + np.exp(-x)), atol=1e-6
+        )
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_over_reuse(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        (t * t + t).backward()  # d/dt (t^2 + t) = 2t + 1 = 5
+        np.testing.assert_allclose(t.grad, [5.0])
+
+    def test_diamond_graph(self):
+        t = Tensor(np.array([3.0]), requires_grad=True)
+        a = t * 2.0
+        b = t * 3.0
+        (a * b).backward()  # 6 t^2 -> 12 t = 36
+        np.testing.assert_allclose(t.grad, [36.0])
+
+    def test_backward_requires_scalar(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            (t * 2.0).backward()
+
+    def test_detach_stops_gradient(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        (t.detach() * t).backward()
+        np.testing.assert_allclose(t.grad, [2.0])  # only the live branch
+
+    def test_no_grad_tensors_skip_tape(self):
+        a = Tensor(np.ones(3))
+        b = a * 2.0
+        assert not b.requires_grad
+        assert b._backward is None
+
+    def test_deep_chain_iterative_topo(self):
+        # Would overflow a recursive topological sort.
+        t = Tensor(np.array([1.0]), requires_grad=True)
+        out = t
+        for _ in range(3000):
+            out = out + 1.0
+        out.backward()
+        np.testing.assert_allclose(t.grad, [1.0])
+
+
+class TestUnbroadcast:
+    def test_identity(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_sums_prepended_axes(self):
+        g = np.ones((4, 2, 3))
+        np.testing.assert_allclose(unbroadcast(g, (2, 3)), np.full((2, 3), 4.0))
+
+    def test_sums_size_one_axes(self):
+        g = np.ones((2, 3))
+        np.testing.assert_allclose(unbroadcast(g, (2, 1)), np.full((2, 1), 3.0))
+
+
+class TestHelpers:
+    def test_parameter_requires_grad(self, rng):
+        p = parameter((3, 3), rng, 0.1)
+        assert p.requires_grad
+
+    def test_zeros(self):
+        z = zeros((2, 2))
+        assert not z.requires_grad
+        assert z.data.sum() == 0.0

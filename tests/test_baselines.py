@@ -1,0 +1,195 @@
+"""Tests for the DejaVu, PowerInfer, random-skip and threshold baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dejavu import (
+    DejaVuPredictor,
+    DejaVuTrainConfig,
+    LayerPredictorWeights,
+    group_traces_by_layer,
+    train_dejavu_predictor,
+)
+from repro.baselines.powerinfer import PowerInferMLP, build_powerinfer_engine
+from repro.baselines.random_skip import RandomSkipMLP
+from repro.baselines.threshold import ThresholdMLP, calibrate_thresholds
+from repro.model.inference import InferenceModel, MLPTrace
+from repro.model.mlp import DenseMLP
+
+
+@pytest.fixture(scope="module")
+def traces(request):
+    """Dense-engine traces of the micro model over a short generation."""
+    from repro.model.config import ModelConfig
+    from repro.model.weights import random_weights
+
+    cfg = ModelConfig(name="micro-b", vocab_size=19, d_model=32, n_layers=2,
+                      n_heads=2, d_ff=64, max_seq_len=64, dtype_bytes=4)
+    weights = random_weights(cfg, seed=11)
+    engine = InferenceModel(weights, trace_mlp_inputs=True)
+    for start in range(4):
+        engine.reset()
+        engine.generate([1 + start, 5, 3, 8], 6)
+    return weights, engine.traces
+
+
+class TestDejaVu:
+    def test_group_traces(self, traces):
+        weights, trace_list = traces
+        grouped = group_traces_by_layer(trace_list, weights.config.n_layers)
+        assert len(grouped) == 2
+        x, y = grouped[0]
+        assert x.shape[1] == weights.config.d_model
+        assert y.shape[1] == weights.config.d_ff
+
+    def test_missing_layer_rejected(self, traces):
+        _, trace_list = traces
+        with pytest.raises(ValueError):
+            group_traces_by_layer(trace_list, 99)
+
+    def test_trained_predictor_beats_chance(self, traces):
+        """The FC predictor must recover most of the sparsity pattern."""
+        weights, trace_list = traces
+        predictor = train_dejavu_predictor(
+            trace_list, weights.config.n_layers,
+            DejaVuTrainConfig(rank=16, steps=120, lr=5e-3), seed=0,
+        )
+        from repro.core.metrics import evaluate_skip_prediction
+
+        hits = []
+        for t in trace_list[:40]:
+            predicted = predictor.predict(t.layer, t.x)
+            q = evaluate_skip_prediction(predicted, t.gate_preact <= 0)
+            hits.append(q.accuracy)
+        assert np.mean(hits) > 0.8
+
+    def test_threshold_trades_recall(self, traces):
+        weights, trace_list = traces
+        predictor = train_dejavu_predictor(
+            trace_list, weights.config.n_layers,
+            DejaVuTrainConfig(rank=8, steps=60), seed=0,
+        )
+        t = trace_list[0]
+        loose = predictor.with_threshold(0.3).predict(t.layer, t.x)
+        strict = predictor.with_threshold(0.9).predict(t.layer, t.x)
+        assert strict.sum() <= loose.sum()
+
+    def test_memory_accounting(self):
+        lw = LayerPredictorWeights(
+            a=np.zeros((8, 4), dtype=np.float32),
+            b=np.zeros((4, 16), dtype=np.float32),
+        )
+        p = DejaVuPredictor([lw, lw])
+        assert p.nbytes == 2 * 2 * (8 * 4 + 4 * 16)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DejaVuTrainConfig(rank=0)
+        with pytest.raises(ValueError):
+            DejaVuTrainConfig(decision_threshold=1.5)
+
+    def test_empty_layers_rejected(self):
+        with pytest.raises(ValueError):
+            DejaVuPredictor([])
+
+
+class TestPowerInfer:
+    def test_engine_runs(self, traces):
+        weights, trace_list = traces
+        predictor = train_dejavu_predictor(
+            trace_list, weights.config.n_layers,
+            DejaVuTrainConfig(rank=8, steps=40), seed=0,
+        )
+        engine = build_powerinfer_engine(weights, predictor)
+        result = engine.generate([1, 2, 3], 3)
+        assert len(result.generated_ids) <= 3
+        assert isinstance(engine.mlp, PowerInferMLP)
+        assert isinstance(engine.prefill_mlp, DenseMLP)
+
+    def test_uniform_skip_across_stages(self, traces):
+        """PowerInfer reuses one prediction for gate/up/down (no +AS)."""
+        weights, trace_list = traces
+        predictor = train_dejavu_predictor(
+            trace_list, weights.config.n_layers,
+            DejaVuTrainConfig(rank=8, steps=40), seed=0,
+        )
+        mlp = PowerInferMLP(weights, predictor)
+        mlp.run(0, trace_list[0].x)
+        assert mlp.stats.rows_skipped_gate == mlp.stats.rows_skipped_up
+        assert mlp.stats.rows_skipped_up == mlp.stats.rows_skipped_down
+
+    def test_layer_mismatch_rejected(self, traces):
+        weights, trace_list = traces
+        lw = LayerPredictorWeights(
+            a=np.zeros((32, 4), dtype=np.float32),
+            b=np.zeros((4, 64), dtype=np.float32),
+        )
+        with pytest.raises(ValueError):
+            PowerInferMLP(weights, DejaVuPredictor([lw]))  # 1 layer vs 2
+
+
+class TestRandomSkip:
+    def test_skip_fraction_respected(self, micro_weights, rng):
+        mlp = RandomSkipMLP(micro_weights, skip_fraction=0.9, seed=1)
+        x = rng.standard_normal(micro_weights.config.d_model).astype(np.float32)
+        for layer in range(micro_weights.config.n_layers):
+            mlp.run(layer, x)
+        assert mlp.stats.gate_skip_fraction == pytest.approx(0.9, abs=0.08)
+
+    def test_zero_fraction_matches_dense(self, micro_weights, rng):
+        mlp = RandomSkipMLP(micro_weights, skip_fraction=0.0)
+        dense = DenseMLP(micro_weights)
+        x = rng.standard_normal(micro_weights.config.d_model).astype(np.float32)
+        np.testing.assert_allclose(mlp.run(0, x), dense.run(0, x), atol=1e-5)
+
+    def test_invalid_fraction_rejected(self, micro_weights):
+        with pytest.raises(ValueError):
+            RandomSkipMLP(micro_weights, skip_fraction=1.5)
+
+    def test_output_diverges_from_dense(self, micro_weights, rng):
+        """Random 90% skipping must substantially change the output --
+        the mechanism behind the paper's 0%-accuracy observation."""
+        mlp = RandomSkipMLP(micro_weights, skip_fraction=0.9, seed=2)
+        dense = DenseMLP(micro_weights)
+        x = rng.standard_normal(micro_weights.config.d_model).astype(np.float32)
+        a, b = mlp.run(0, x), dense.run(0, x)
+        assert np.linalg.norm(a - b) > 0.1 * np.linalg.norm(b)
+
+
+class TestThreshold:
+    def test_calibration_hits_target(self, traces):
+        weights, trace_list = traces
+        thresholds = calibrate_thresholds(
+            trace_list, weights.config.n_layers, target_sparsity=0.7,
+            activation=weights.config.activation,
+        )
+        assert thresholds.shape == (2,)
+        assert np.all(thresholds >= 0)
+
+    def test_executor_sparsifies_up_down_only(self, traces, rng):
+        weights, trace_list = traces
+        thresholds = calibrate_thresholds(
+            trace_list, weights.config.n_layers, target_sparsity=0.7,
+            activation=weights.config.activation,
+        )
+        mlp = ThresholdMLP(weights, thresholds)
+        mlp.run(0, trace_list[0].x)
+        assert mlp.stats.rows_skipped_gate == 0        # CATS: dense gate
+        assert mlp.stats.rows_skipped_up > 0
+
+    def test_zero_threshold_matches_dense(self, micro_weights, rng):
+        mlp = ThresholdMLP(
+            micro_weights, np.zeros(micro_weights.config.n_layers)
+        )
+        dense = DenseMLP(micro_weights)
+        x = rng.standard_normal(micro_weights.config.d_model).astype(np.float32)
+        np.testing.assert_allclose(mlp.run(1, x), dense.run(1, x), atol=1e-5)
+
+    def test_invalid_target_rejected(self, traces):
+        weights, trace_list = traces
+        with pytest.raises(ValueError):
+            calibrate_thresholds(trace_list, 2, target_sparsity=0.0)
+
+    def test_threshold_count_mismatch_rejected(self, micro_weights):
+        with pytest.raises(ValueError):
+            ThresholdMLP(micro_weights, np.zeros(7))

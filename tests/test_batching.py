@@ -1,0 +1,95 @@
+"""Tests for the batched-decoding sparsity-decay analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.batching import (
+    batch_skip_fraction,
+    batch_sweep,
+    batched_decode_latency,
+)
+from repro.gpu.device import jetson_orin_agx_64gb
+from repro.gpu.pipeline import SparsityProfile
+from repro.model.config import prosparse_llama2_7b
+
+ORIN = jetson_orin_agx_64gb()
+
+
+class TestBatchSkipFraction:
+    def test_batch_one_is_identity(self):
+        assert batch_skip_fraction(0.9, 1) == pytest.approx(0.9)
+
+    def test_independent_decays_exponentially(self):
+        assert batch_skip_fraction(0.9, 4, correlation=0.0) == pytest.approx(
+            0.9 ** 4
+        )
+
+    def test_fully_correlated_never_decays(self):
+        assert batch_skip_fraction(0.9, 16, correlation=1.0) == pytest.approx(
+            0.9
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_skip_fraction(1.5, 1)
+        with pytest.raises(ValueError):
+            batch_skip_fraction(0.5, 0)
+        with pytest.raises(ValueError):
+            batch_skip_fraction(0.5, 2, correlation=2.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    skip=st.floats(0.0, 1.0),
+    b1=st.integers(1, 32),
+    b2=st.integers(1, 32),
+    corr=st.floats(0.0, 1.0),
+)
+def test_property_skip_decays_with_batch(skip, b1, b2, corr):
+    lo, hi = sorted((b1, b2))
+    assert (
+        batch_skip_fraction(skip, hi, corr)
+        <= batch_skip_fraction(skip, lo, corr) + 1e-12
+    )
+
+
+class TestBatchedLatency:
+    @pytest.fixture(scope="class")
+    def cfg(self):
+        return prosparse_llama2_7b()
+
+    @pytest.fixture(scope="class")
+    def profile(self, cfg):
+        return SparsityProfile.uniform(cfg.n_layers, 0.90, 0.92)
+
+    def test_batch_one_matches_single_scale(self, cfg, profile):
+        point = batched_decode_latency(ORIN and cfg, ORIN, 1, profile)
+        assert point.exploited_skip == pytest.approx(0.92, abs=0.01)
+        assert point.seconds_per_token == point.seconds_per_step
+
+    def test_throughput_grows_with_batch(self, cfg):
+        a = batched_decode_latency(cfg, ORIN, 1, None)
+        b = batched_decode_latency(cfg, ORIN, 8, None)
+        assert b.tokens_per_second > a.tokens_per_second
+
+    def test_sparsity_advantage_decays_with_batch(self, cfg, profile):
+        """The headline finding: SparseInfer's edge shrinks as batch grows
+        (uncorrelated sequences)."""
+        sweep = batch_sweep(cfg, ORIN, profile, batch_sizes=(1, 4, 16))
+        speedups = [row["speedup"] for row in sweep]
+        assert speedups[0] > speedups[1] > speedups[2]
+        assert speedups[0] > 1.5          # batch-1: the paper's regime
+        assert speedups[2] < 1.15         # batch-16: advantage mostly gone
+
+    def test_correlated_batch_keeps_advantage(self, cfg, profile):
+        indep = batch_sweep(cfg, ORIN, profile, batch_sizes=(8,),
+                            correlation=0.0)[0]["speedup"]
+        corr = batch_sweep(cfg, ORIN, profile, batch_sizes=(8,),
+                           correlation=0.9)[0]["speedup"]
+        assert corr > indep
+
+    def test_exploited_skip_reported(self, cfg, profile):
+        point = batched_decode_latency(cfg, ORIN, 8, profile)
+        assert 0.0 < point.exploited_skip < 0.92

@@ -1,0 +1,42 @@
+"""Smoke tests for the example scripts.
+
+Importing an example validates its syntax and top-level imports without
+running ``main()``; the quickstart (fast, no training) is executed fully.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_expected_examples_present():
+    assert {"quickstart.py", "ondevice_latency_model.py",
+            "compare_predictors.py", "dse_alpha_sweep.py",
+            "accuracy_tables.py", "train_relufied_lm.py",
+            "fewshot_eval.py"} <= set(ALL_EXAMPLES)
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_imports(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name[:-3]}", EXAMPLES_DIR / name
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main")
+
+
+def test_quickstart_runs_end_to_end():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "predictor precision" in result.stdout
+    assert "gate rows skipped" in result.stdout

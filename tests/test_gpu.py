@@ -1,0 +1,312 @@
+"""Tests for the GPU roofline model: device, kernels, simulator, pipeline,
+memory accounting.  Includes the paper's Section V-A acceptance numbers."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import (
+    DeviceSpec,
+    jetson_orin_agx_64gb,
+    jetson_orin_nx_16gb,
+    rtx_4090,
+)
+from repro.gpu.kernels import (
+    KernelCost,
+    attention_kernels,
+    dejavu_predict_kernel,
+    dense_gemv,
+    fused_sparse_mlp_kernel,
+    merge,
+    sign_pack_kernel,
+    sparse_gemv,
+    sparseinfer_predict_kernel,
+)
+from repro.gpu.memory import (
+    MIB,
+    dejavu_predictor_bytes,
+    engine_memory,
+    kv_cache_bytes,
+    sparseinfer_predictor_bytes,
+    weight_bytes,
+)
+from repro.gpu.pipeline import (
+    EngineSpec,
+    LayerSparsity,
+    SparsityProfile,
+    decode_latency,
+    decode_step_timeline,
+    dense_engine,
+    powerinfer_engine,
+    sparseinfer_engine,
+)
+from repro.gpu.simulator import ConcurrentGroup, Timeline
+from repro.model.config import prosparse_llama2_7b, prosparse_llama2_13b
+
+
+@pytest.fixture(scope="module")
+def orin():
+    return jetson_orin_agx_64gb()
+
+
+@pytest.fixture(scope="module")
+def cfg13():
+    return prosparse_llama2_13b()
+
+
+class TestDeviceSpec:
+    def test_presets_valid(self):
+        for dev in (jetson_orin_agx_64gb(), jetson_orin_nx_16gb(), rtx_4090()):
+            assert dev.effective_bandwidth < dev.dram_bandwidth
+            assert dev.effective_sparse_bandwidth < dev.effective_bandwidth
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jetson_orin_agx_64gb().scaled(dram_bandwidth=-1)
+        with pytest.raises(ValueError):
+            jetson_orin_agx_64gb().scaled(mem_efficiency=0.0)
+
+    def test_scaled_override(self, orin):
+        fast = orin.scaled(dram_bandwidth=400e9)
+        assert fast.dram_bandwidth == 400e9
+        assert fast.cuda_flops_fp32 == orin.cuda_flops_fp32
+
+
+class TestKernelCosts:
+    def test_memory_bound_gemv(self, orin, cfg13):
+        """A 13B-layer GEMV is firmly memory bound on Orin."""
+        k = dense_gemv("gate", cfg13.d_ff, cfg13.d_model)
+        assert k.memory_time(orin) > k.compute_time(orin)
+
+    def test_latency_includes_launch(self, orin):
+        k = KernelCost(name="noop")
+        assert k.latency(orin) == pytest.approx(orin.kernel_launch_latency)
+
+    def test_sparse_gemv_scales_with_density(self, orin, cfg13):
+        full = sparse_gemv("g", cfg13.d_ff, cfg13.d_model, 1.0)
+        tenth = sparse_gemv("g", cfg13.d_ff, cfg13.d_model, 0.1)
+        # 10x fewer bytes, but moved at gather (not streaming) efficiency.
+        assert tenth.latency(orin) < 0.45 * full.latency(orin)
+        assert tenth.latency(orin) > 0.1 * full.latency(orin)
+
+    def test_sparse_gemv_at_full_density_matches_dense_bandwidth(
+        self, orin, cfg13
+    ):
+        """density=1 must not pay the gather penalty (CATS gate case)."""
+        dense = dense_gemv("g", cfg13.d_ff, cfg13.d_model)
+        sparse_full = sparse_gemv("g", cfg13.d_ff, cfg13.d_model, 1.0)
+        assert sparse_full.latency(orin) == pytest.approx(
+            dense.latency(orin), rel=0.01
+        )
+
+    def test_sparse_density_validated(self):
+        with pytest.raises(ValueError):
+            sparse_gemv("g", 10, 10, 1.5)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            KernelCost(name="bad", bytes_streamed=-1)
+
+    def test_atomic_output_costs_extra(self, orin, cfg13):
+        plain = sparse_gemv("d", cfg13.d_model, cfg13.d_ff, 0.1)
+        atomic = sparse_gemv("d", cfg13.d_model, cfg13.d_ff, 0.1,
+                             atomic_output=True)
+        assert atomic.latency(orin) > plain.latency(orin)
+
+    def test_merge_sums_work(self):
+        a = KernelCost(name="a", bytes_streamed=100, flops_cuda=10)
+        b = KernelCost(name="b", bytes_streamed=50, int_ops=5)
+        m = merge("ab", a, b)
+        assert m.bytes_streamed == 150
+        assert m.flops_cuda == 10
+        assert m.int_ops == 5
+
+    def test_fused_mlp_cheaper_than_parts(self, orin, cfg13):
+        d, k = cfg13.d_model, cfg13.d_ff
+        fused = fused_sparse_mlp_kernel(d, k, 0.1, 0.08)
+        parts = (
+            sparse_gemv("gate", k, d, 0.1).latency(orin)
+            + sparse_gemv("up", k, d, 0.08).latency(orin)
+            + KernelCost(name="mul", bytes_streamed=3 * k * 2).latency(orin)
+        )
+        assert fused.latency(orin) < parts
+
+
+class TestPaperSectionVA:
+    """Acceptance: the Section V-A numbers within tolerance bands."""
+
+    def test_predictor_latency_near_70us(self, orin, cfg13):
+        lat = (
+            sign_pack_kernel(cfg13.d_model).latency(orin)
+            + sparseinfer_predict_kernel(cfg13.d_ff, cfg13.d_model).latency(orin)
+        )
+        assert 50e-6 < lat < 90e-6  # paper: ~70 us
+
+    def test_predictor_speedup_near_3_66(self, orin, cfg13):
+        si = (
+            sign_pack_kernel(cfg13.d_model).latency(orin)
+            + sparseinfer_predict_kernel(cfg13.d_ff, cfg13.d_model).latency(orin)
+        )
+        pi = dejavu_predict_kernel(cfg13.d_model, 1024, cfg13.d_ff).latency(orin)
+        assert 3.0 < pi / si < 4.5  # paper: 3.66x
+
+    def test_powerinfer_memory_1480mb(self, cfg13):
+        assert dejavu_predictor_bytes(cfg13, 1024) / MIB == pytest.approx(
+            1480.0, rel=1e-3
+        )
+
+    def test_sparseinfer_memory_337mb(self, cfg13):
+        assert sparseinfer_predictor_bytes(cfg13) / MIB == pytest.approx(
+            337.5, rel=1e-3
+        )
+
+    def test_memory_reduction_4_38x(self, cfg13):
+        ratio = dejavu_predictor_bytes(cfg13) / sparseinfer_predictor_bytes(cfg13)
+        assert ratio == pytest.approx(4.38, abs=0.05)
+
+
+class TestMemoryAccounting:
+    def test_weight_bytes_near_26gb(self, cfg13):
+        assert 24e9 < weight_bytes(cfg13) < 28e9  # 13B params FP16
+
+    def test_kv_cache_linear_in_seq(self, cfg13):
+        assert kv_cache_bytes(cfg13, 200) == 2 * kv_cache_bytes(cfg13, 100)
+
+    def test_engine_memory_variants(self, cfg13):
+        dense = engine_memory(cfg13, "dense")
+        pi = engine_memory(cfg13, "powerinfer")
+        si = engine_memory(cfg13, "sparseinfer")
+        assert dense.predictor_bytes == 0
+        assert pi.predictor_bytes > si.predictor_bytes > 0
+        assert pi.total_bytes > si.total_bytes > dense.total_bytes
+
+    def test_unknown_engine_rejected(self, cfg13):
+        with pytest.raises(ValueError):
+            engine_memory(cfg13, "magic")
+
+    def test_negative_seq_rejected(self, cfg13):
+        with pytest.raises(ValueError):
+            kv_cache_bytes(cfg13, -1)
+
+
+class TestSimulator:
+    def test_sequential_latency_adds(self, orin):
+        k = KernelCost(name="k", bytes_streamed=1e6)
+        t = Timeline().add(k).add(k)
+        assert t.latency(orin) == pytest.approx(2 * k.latency(orin))
+
+    def test_cke_shares_bandwidth(self, orin):
+        """Memory-bound kernels gain ~nothing from concurrency."""
+        k = KernelCost(name="k", bytes_streamed=1e8)
+        seq = Timeline().add(k).add(k).latency(orin)
+        cke = Timeline().concurrent([k, k]).latency(orin)
+        assert cke == pytest.approx(seq, rel=1e-6)
+
+    def test_cke_overlaps_compute(self, orin):
+        mem = KernelCost(name="mem", bytes_streamed=1e8)
+        compute = KernelCost(name="fma", flops_cuda=5e8)
+        seq = Timeline().add(mem).add(compute).latency(orin)
+        cke = Timeline().concurrent([mem, compute]).latency(orin)
+        assert cke < seq
+
+    def test_breakdown_accounts_everything(self, orin):
+        t = Timeline(fixed_overhead=1e-3)
+        t.add(KernelCost(name="a", bytes_streamed=1e6))
+        t.add(KernelCost(name="a", bytes_streamed=1e6))
+        t.add(KernelCost(name="b", flops_cuda=1e7))
+        bd = t.breakdown(orin)
+        assert bd["host_overhead"] == 1e-3
+        assert sum(bd.values()) == pytest.approx(t.latency(orin))
+
+    def test_launch_counting(self):
+        t = Timeline().add(KernelCost(name="a")).concurrent(
+            [KernelCost(name="b"), KernelCost(name="c")]
+        )
+        assert t.n_launches == 3
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            ConcurrentGroup(kernels=())
+
+
+class TestPipeline:
+    def test_dense_13b_tokens_per_second_plausible(self, orin, cfg13):
+        """llama.cpp-class 13B FP16 decode on Orin: single-digit tok/s."""
+        report = decode_latency(cfg13, dense_engine(), orin, seq_len=700)
+        assert 2.0 < report.tokens_per_second < 12.0
+
+    def test_headline_speedups(self, orin):
+        """Fig. 4 headline: ~1.79x (13B) and ~1.74x (7B) over llama.cpp,
+        ~1.27x / ~1.30x over PowerInfer, at alpha=1.0."""
+        for cfg, si_target, pi_target in (
+            (prosparse_llama2_13b(), 1.79, 1.27),
+            (prosparse_llama2_7b(), 1.74, 1.30),
+        ):
+            prof = SparsityProfile.uniform(cfg.n_layers, 0.90, 0.92)
+            pi_prof = SparsityProfile.uniform(cfg.n_layers, 0.86)
+            base = decode_latency(cfg, dense_engine(), orin, seq_len=700)
+            si = decode_latency(cfg, sparseinfer_engine(), orin, prof,
+                                seq_len=700)
+            pi = decode_latency(cfg, powerinfer_engine(), orin, pi_prof,
+                                seq_len=700)
+            assert si.speedup_over(base) == pytest.approx(si_target, abs=0.15)
+            assert si.speedup_over(pi) == pytest.approx(pi_target, abs=0.15)
+
+    def test_variant_ordering(self, orin, cfg13):
+        """+AS must not be slower than base; full variant fastest."""
+        prof = SparsityProfile.uniform(cfg13.n_layers, 0.88, 0.93)
+        variants = {}
+        for kf in (False, True):
+            for as_ in (False, True):
+                spec = EngineSpec(kind="sparseinfer", kernel_fusion=kf,
+                                  actual_sparsity=as_)
+                variants[(kf, as_)] = decode_latency(
+                    cfg13, spec, orin, prof, seq_len=700
+                ).seconds_per_token
+        assert variants[(True, True)] <= variants[(False, False)]
+        assert variants[(False, True)] <= variants[(False, False)]
+        assert variants[(True, False)] <= variants[(False, False)]
+
+    def test_sparse_engines_require_profile(self, cfg13):
+        with pytest.raises(ValueError):
+            decode_step_timeline(cfg13, sparseinfer_engine())
+
+    def test_profile_length_checked(self, cfg13):
+        with pytest.raises(ValueError):
+            decode_step_timeline(
+                cfg13, sparseinfer_engine(),
+                SparsityProfile.uniform(3, 0.9),
+            )
+
+    def test_layer_sparsity_validation(self):
+        with pytest.raises(ValueError):
+            LayerSparsity(predicted_skip=0.9, union_skip=0.5)
+        with pytest.raises(ValueError):
+            LayerSparsity(predicted_skip=1.2, union_skip=1.3)
+
+    def test_unknown_engine_kind_rejected(self):
+        with pytest.raises(ValueError):
+            EngineSpec(kind="tpu")
+
+    def test_attention_cost_grows_with_seq(self, orin, cfg13):
+        short = sum(
+            k.latency(orin) for k in attention_kernels(cfg13.d_model, 40, 10)
+        )
+        long = sum(
+            k.latency(orin) for k in attention_kernels(cfg13.d_model, 40, 4000)
+        )
+        assert long > short
+
+    def test_mlp_share_matches_profiling_footnote(self, orin, cfg13):
+        """Paper footnote 1: MLP ~62%, attention ~38% of decode compute.
+
+        Our roofline should land in that neighbourhood for the dense 13B
+        at GSM8K-scale context."""
+        timeline = decode_step_timeline(cfg13, dense_engine(), seq_len=700)
+        bd = timeline.breakdown(orin)
+        mlp = sum(v for k, v in bd.items() if k in ("gate", "up", "down", "gate_mul"))
+        attn = sum(
+            v for k, v in bd.items()
+            if k in ("wq", "wk", "wv", "wo", "rope", "attn_scores_softmax_wsum")
+        )
+        share = mlp / (mlp + attn)
+        assert 0.55 < share < 0.72

@@ -1,0 +1,133 @@
+"""Property-based tests of the GPU roofline model's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.device import jetson_orin_agx_64gb
+from repro.gpu.kernels import dense_gemv, sparse_gemv
+from repro.gpu.pipeline import (
+    EngineSpec,
+    SparsityProfile,
+    decode_latency,
+    dense_engine,
+)
+from repro.model.config import ModelConfig
+
+ORIN = jetson_orin_agx_64gb()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    nrows=st.integers(64, 16384),
+    ncols=st.integers(64, 8192),
+    d1=st.floats(0.0, 1.0),
+    d2=st.floats(0.0, 1.0),
+)
+def test_property_sparse_latency_monotone_in_density(nrows, ncols, d1, d2):
+    """More surviving rows never get cheaper."""
+    lo, hi = sorted((d1, d2))
+    k_lo = sparse_gemv("g", nrows, ncols, lo)
+    k_hi = sparse_gemv("g", nrows, ncols, hi)
+    assert k_lo.latency(ORIN) <= k_hi.latency(ORIN) + 1e-15
+
+
+@settings(max_examples=40, deadline=None)
+@given(nrows=st.integers(64, 16384), ncols=st.integers(64, 8192))
+def test_property_sparse_never_beats_free_and_never_exceeds_dense(
+    nrows, ncols
+):
+    dense = dense_gemv("g", nrows, ncols)
+    sparse_full = sparse_gemv("g", nrows, ncols, 1.0)
+    # Full-density sparse pays only the skip-flag read extra (4 B/row).
+    flag_time = nrows * 4 / ORIN.effective_bandwidth
+    assert sparse_full.latency(ORIN) <= dense.latency(ORIN) + flag_time + 1e-9
+    empty = sparse_gemv("g", nrows, ncols, 0.0)
+    assert empty.latency(ORIN) >= ORIN.kernel_launch_latency
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    skip1=st.floats(0.0, 0.95),
+    skip2=st.floats(0.0, 0.95),
+    seed=st.integers(0, 100),
+)
+def test_property_decode_latency_monotone_in_skip(skip1, skip2, seed):
+    """A profile that skips more is never slower."""
+    del seed
+    cfg = ModelConfig(name="prop", vocab_size=1000, d_model=1024,
+                      n_layers=4, n_heads=8, d_ff=4096)
+    lo, hi = sorted((skip1, skip2))
+    spec = EngineSpec(kind="sparseinfer", actual_sparsity=True)
+    slow = decode_latency(
+        cfg, spec, ORIN, SparsityProfile.uniform(4, lo, lo), seq_len=128
+    )
+    fast = decode_latency(
+        cfg, spec, ORIN, SparsityProfile.uniform(4, hi, hi), seq_len=128
+    )
+    assert fast.seconds_per_token <= slow.seconds_per_token + 1e-12
+
+
+def test_dense_latency_scales_with_model_size():
+    small = ModelConfig(name="s", vocab_size=1000, d_model=1024, n_layers=4,
+                        n_heads=8, d_ff=2048)
+    large = ModelConfig(name="l", vocab_size=1000, d_model=2048, n_layers=8,
+                        n_heads=8, d_ff=4096)
+    a = decode_latency(small, dense_engine(), ORIN, seq_len=128)
+    b = decode_latency(large, dense_engine(), ORIN, seq_len=128)
+    assert b.seconds_per_token > a.seconds_per_token
+
+
+def test_faster_device_decodes_faster():
+    from repro.gpu.device import rtx_4090
+
+    cfg = ModelConfig(name="m", vocab_size=1000, d_model=2048, n_layers=8,
+                      n_heads=8, d_ff=4096)
+    orin_t = decode_latency(cfg, dense_engine(), ORIN, seq_len=128)
+    rtx_t = decode_latency(cfg, dense_engine(), rtx_4090(), seq_len=128)
+    assert rtx_t.seconds_per_token < orin_t.seconds_per_token
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pred=st.floats(0.0, 1.0),
+    extra=st.floats(0.0, 1.0),
+)
+def test_property_as_never_hurts(pred, extra):
+    """union_skip >= predicted_skip implies +AS latency <= base latency."""
+    union = min(1.0, pred + (1.0 - pred) * extra)
+    cfg = ModelConfig(name="p", vocab_size=1000, d_model=1024, n_layers=2,
+                      n_heads=8, d_ff=4096)
+    profile = SparsityProfile.uniform(2, pred, union)
+    base = decode_latency(
+        cfg, EngineSpec(kind="sparseinfer"), ORIN, profile, seq_len=64
+    )
+    with_as = decode_latency(
+        cfg, EngineSpec(kind="sparseinfer", actual_sparsity=True),
+        ORIN, profile, seq_len=64,
+    )
+    assert with_as.seconds_per_token <= base.seconds_per_token + 1e-12
+
+
+def test_timeline_bytes_conserved():
+    """Total bytes equal the sum over kernels regardless of grouping."""
+    from repro.gpu.kernels import KernelCost
+    from repro.gpu.simulator import Timeline
+
+    ks = [KernelCost(name=f"k{i}", bytes_streamed=10.0 * (i + 1))
+          for i in range(4)]
+    seq = Timeline().extend(ks)
+    grouped = Timeline().concurrent(ks[:2]).concurrent(ks[2:])
+    assert seq.total_bytes == pytest.approx(grouped.total_bytes)
+
+
+def test_prediction_cost_independent_of_sparsity():
+    """The predictor reads all packed signs regardless of the outcome."""
+    from repro.gpu.kernels import sparseinfer_predict_kernel
+
+    k = sparseinfer_predict_kernel(13824, 5120)
+    assert k.bytes_streamed == pytest.approx(
+        13824 * 5120 / 8 + 5120 / 8 + 13824 * 4
+    )
+    assert np.isfinite(k.latency(ORIN))

@@ -1,0 +1,101 @@
+"""Tests for the decode engine, including train/infer cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.model.inference import InferenceModel
+from repro.model.mlp import DenseMLP
+from repro.train.lm import TrainableLM
+
+
+class TestForward:
+    def test_logit_shape(self, micro_weights, micro_config):
+        engine = InferenceModel(micro_weights)
+        logits = engine.forward_token(1, 0)
+        assert logits.shape == (micro_config.vocab_size,)
+
+    def test_decode_matches_training_forward(self, micro_config):
+        """Sequential KV-cache decode must reproduce the full-sequence
+        training forward pass position by position."""
+        lm = TrainableLM(micro_config, seed=3)
+        weights = lm.export_weights()
+        tokens = np.array([[1, 4, 7, 2, 9]])
+        train_logits = lm.forward(tokens).logits.data[0]   # (T, vocab)
+
+        engine = InferenceModel(weights)
+        for pos, tok in enumerate(tokens[0]):
+            infer_logits = engine.forward_token(int(tok), pos)
+            np.testing.assert_allclose(
+                infer_logits, train_logits[pos], atol=2e-3,
+                err_msg=f"mismatch at position {pos}",
+            )
+
+    def test_generation_deterministic(self, micro_weights, gsm_tokenizer):
+        engine = InferenceModel(micro_weights)
+        a = engine.generate([1, 5, 3], 4).generated_ids
+        b = engine.generate([1, 5, 3], 4).generated_ids
+        assert a == b
+
+    def test_stop_ids_halt_generation(self, micro_weights):
+        engine = InferenceModel(micro_weights)
+        probe = engine.generate([1, 5, 3], 6)
+        if probe.generated_ids:
+            stop = {probe.generated_ids[0]}
+            halted = engine.generate([1, 5, 3], 6, stop_ids=stop)
+            assert len(halted.generated_ids) == 0
+
+    def test_empty_prompt_rejected(self, micro_weights):
+        with pytest.raises(ValueError):
+            InferenceModel(micro_weights).prefill([])
+
+    def test_negative_max_tokens_rejected(self, micro_weights):
+        with pytest.raises(ValueError):
+            InferenceModel(micro_weights).generate([1], -1)
+
+
+class TestTracing:
+    def test_traces_cover_layers_and_tokens(self, micro_weights, micro_config):
+        engine = InferenceModel(micro_weights, trace_mlp_inputs=True)
+        engine.generate([1, 2, 3], 2)
+        n_tokens = 3 + 2
+        assert len(engine.traces) == n_tokens * micro_config.n_layers
+        t = engine.traces[0]
+        assert t.x.shape == (micro_config.d_model,)
+        assert t.gate_preact.shape == (micro_config.d_ff,)
+
+    def test_trace_preact_matches_weights(self, micro_weights):
+        engine = InferenceModel(micro_weights, trace_mlp_inputs=True)
+        engine.forward_token(2, 0)
+        t = engine.traces[0]
+        np.testing.assert_allclose(
+            t.gate_preact,
+            micro_weights.layers[t.layer].w_gate_rows @ t.x,
+            atol=1e-5,
+        )
+
+    def test_clear_traces(self, micro_weights):
+        engine = InferenceModel(micro_weights, trace_mlp_inputs=True)
+        engine.forward_token(0, 0)
+        engine.clear_traces()
+        assert engine.traces == []
+
+
+class TestPrefillExecutorSplit:
+    def test_prefill_uses_dense_decode_uses_sparse(self, micro_weights):
+        """With a separate prefill executor the sparse stats must count
+        only decode tokens (Section V-C semantics)."""
+        from repro.core.sparse_mlp import SparseInferMLP
+
+        sparse = SparseInferMLP(micro_weights)
+        dense = DenseMLP(micro_weights)
+        engine = InferenceModel(micro_weights, mlp=sparse, prefill_mlp=dense)
+        engine.generate([1, 2, 3, 4], 2)
+        n_layers = micro_weights.config.n_layers
+        assert dense.stats.calls == 4 * n_layers       # prompt tokens
+        assert sparse.stats.calls == 2 * n_layers      # generated tokens
+
+    def test_default_prefill_is_decode_executor(self, micro_weights):
+        dense = DenseMLP(micro_weights)
+        engine = InferenceModel(micro_weights, mlp=dense)
+        engine.generate([1, 2], 1)
+        assert dense.stats.calls == 3 * micro_weights.config.n_layers

@@ -1,0 +1,165 @@
+"""End-to-end integration tests across substrates.
+
+These exercise whole pipelines: train -> export -> sparse decode,
+trace -> DejaVu -> PowerInfer, quantise -> predict, and the full
+SparseInfer protocol invariants on a trained network.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import SparseInferSettings, build_engine, dense_engine
+from repro.eval.harness import evaluate
+from repro.model.config import ModelConfig
+from repro.model.inference import InferenceModel
+from repro.model.tokenizer import CharTokenizer
+from repro.train.data import batches_from_task
+from repro.train.lm import TrainableLM
+from repro.train.trainer import TrainSettings, train
+from repro.workloads import gsm8k_like
+
+
+@pytest.fixture(scope="module")
+def trained_setup():
+    """A briefly-trained ReLU-fied model plus its tokenizer."""
+    tok = CharTokenizer(gsm8k_like.ALPHABET)
+    cfg = ModelConfig(
+        name="integration", vocab_size=tok.vocab_size, d_model=64,
+        n_layers=2, n_heads=2, d_ff=96, max_seq_len=64, dtype_bytes=4,
+    )
+    batches = batches_from_task(
+        gsm8k_like.generate, tok, n_batches=4, batch_size=16, seed=0
+    )
+    model = TrainableLM(cfg, seed=0)
+    train(model, batches, TrainSettings(steps=80, lr=5e-3, l1_peak=5e-3))
+    return model.export_weights(), tok
+
+
+class TestTrainedPipeline:
+    def test_training_induced_gate_sparsity(self, trained_setup):
+        """ProSparse L1 must push gate sparsity well above random init."""
+        weights, tok = trained_setup
+        engine = InferenceModel(weights, trace_mlp_inputs=True)
+        engine.generate(tok.encode("Q:1+2+3=A:", add_bos=True), 3)
+        sparsity = np.mean(
+            [np.mean(t.gate_preact <= 0) for t in engine.traces]
+        )
+        assert sparsity > 0.6
+
+    def test_sparse_engine_tracks_dense_closely(self, trained_setup):
+        """On a trained sparse model, SparseInfer decoding should agree
+        with dense decoding for most prompts at alpha=1."""
+        weights, tok = trained_setup
+        sparse = build_engine(weights, SparseInferSettings(alpha=1.0))
+        dense = dense_engine(weights)
+        samples = gsm8k_like.generate(12, seed=99)
+        agree = 0
+        for s in samples:
+            ids = tok.encode(s.prompt, add_bos=True)
+            if (sparse.generate(ids, 4).generated_ids
+                    == dense.generate(ids, 4).generated_ids):
+                agree += 1
+        assert agree >= 9  # >= 75% exact agreement
+
+    def test_predictor_precision_on_trained_model(self, trained_setup):
+        """Sign prediction precision should be high on a genuinely
+        ProSparse-regularised network."""
+        from repro.eval.precision_recall import quality_from_traces
+
+        weights, tok = trained_setup
+        engine = InferenceModel(weights, trace_mlp_inputs=True)
+        for s in gsm8k_like.generate(4, seed=5):
+            engine.reset()
+            engine.generate(tok.encode(s.prompt, add_bos=True), 3)
+        points = quality_from_traces(engine.traces, weights.gate_matrices())
+        assert np.mean([p.precision for p in points]) > 0.9
+
+    def test_alpha_monotone_skip_on_trained_model(self, trained_setup):
+        weights, tok = trained_setup
+        prompt = tok.encode("Q:5-3+1=A:", add_bos=True)
+        fracs = []
+        for alpha in (0.9, 1.0, 1.2):
+            engine = build_engine(weights, SparseInferSettings(alpha=alpha))
+            engine.generate(prompt, 3)
+            fracs.append(engine.mlp.stats.gate_skip_fraction)
+        assert fracs[0] >= fracs[1] >= fracs[2]
+
+    def test_harness_scores_trained_model(self, trained_setup):
+        weights, tok = trained_setup
+        result = evaluate(
+            dense_engine(weights), tok, gsm8k_like.generate(10, seed=1),
+            task="gsm",
+        )
+        assert result.n_samples == 10
+
+
+class TestTraceToDejaVuPipeline:
+    def test_full_powerinfer_flow(self, trained_setup):
+        """Trace collection -> DejaVu training -> PowerInfer decoding."""
+        from repro.baselines.dejavu import (
+            DejaVuTrainConfig,
+            train_dejavu_predictor,
+        )
+        from repro.baselines.powerinfer import build_powerinfer_engine
+
+        weights, tok = trained_setup
+        tracer = InferenceModel(weights, trace_mlp_inputs=True)
+        for s in gsm8k_like.generate(6, seed=3):
+            tracer.reset()
+            tracer.generate(tok.encode(s.prompt, add_bos=True), 3)
+        predictor = train_dejavu_predictor(
+            tracer.traces, weights.config.n_layers,
+            DejaVuTrainConfig(rank=8, steps=80), seed=0,
+        )
+        engine = build_powerinfer_engine(weights, predictor)
+        out = engine.generate(tok.encode("Q:2+2+2=A:", add_bos=True), 3)
+        assert len(out.generated_ids) <= 3
+        assert engine.mlp.stats.gate_skip_fraction > 0.2
+
+    def test_dejavu_memory_exceeds_sparseinfer(self, trained_setup):
+        """Even at tiny scale, the trained predictor's FP16 footprint
+        exceeds the packed sign bits (paper: 4.38x at 13B)."""
+        from repro.baselines.dejavu import (
+            DejaVuTrainConfig,
+            train_dejavu_predictor,
+        )
+        from repro.core.predictor import SparseInferPredictor
+
+        weights, tok = trained_setup
+        tracer = InferenceModel(weights, trace_mlp_inputs=True)
+        tracer.generate(tok.encode("Q:1+1=A:", add_bos=True), 2)
+        dejavu = train_dejavu_predictor(
+            tracer.traces, weights.config.n_layers,
+            DejaVuTrainConfig(rank=16, steps=5), seed=0,
+        )
+        signs = SparseInferPredictor.from_gate_weights(
+            weights.gate_matrices()
+        )
+        assert dejavu.nbytes > signs.nbytes
+
+
+class TestQuantisedPredictionPipeline:
+    def test_int8_predictor_state_runs_engine(self, trained_setup):
+        """Predictor state built from INT8 weights drives the engine to
+        the same generations as FP32 state (robustness claim, IV-A)."""
+        from repro.core.predictor import SparseInferPredictor
+        from repro.core.signpack import PackedSigns
+        from repro.quant.int8 import quantize_int8
+        from repro.quant.signbits import packed_signs_from
+
+        weights, tok = trained_setup
+        fp32_pred = SparseInferPredictor.from_gate_weights(
+            weights.gate_matrices()
+        )
+        int8_packed = [
+            packed_signs_from(quantize_int8(w))
+            for w in weights.gate_matrices()
+        ]
+        int8_pred = SparseInferPredictor(int8_packed)
+
+        prompt = tok.encode("Q:4+4-4=A:", add_bos=True)
+        eng_a = build_engine(weights, predictor=fp32_pred)
+        eng_b = build_engine(weights, predictor=int8_pred)
+        ga = eng_a.generate(prompt, 4).generated_ids
+        gb = eng_b.generate(prompt, 4).generated_ids
+        assert ga == gb

@@ -1,0 +1,97 @@
+"""Tests for prediction-quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    PredictionQuality,
+    evaluate_skip_prediction,
+    sparsity,
+)
+
+
+class TestEvaluateSkipPrediction:
+    def test_perfect_prediction(self):
+        actual = np.array([True, True, False, False])
+        q = evaluate_skip_prediction(actual, actual)
+        assert q.precision == 1.0
+        assert q.recall == 1.0
+        assert q.accuracy == 1.0
+
+    def test_confusion_counts(self):
+        predicted = np.array([True, True, False, False])
+        actual = np.array([True, False, True, False])
+        q = evaluate_skip_prediction(predicted, actual)
+        assert (q.true_positive, q.false_positive,
+                q.false_negative, q.true_negative) == (1, 1, 1, 1)
+        assert q.precision == 0.5
+        assert q.recall == 0.5
+
+    def test_no_predictions_precision_is_one(self):
+        q = evaluate_skip_prediction(
+            np.zeros(4, dtype=bool), np.array([True, False, True, False])
+        )
+        assert q.precision == 1.0
+        assert q.recall == 0.0
+
+    def test_nothing_sparse_recall_is_one(self):
+        q = evaluate_skip_prediction(
+            np.zeros(4, dtype=bool), np.zeros(4, dtype=bool)
+        )
+        assert q.recall == 1.0
+
+    def test_sparsity_properties(self):
+        predicted = np.array([True, False, True, False])
+        actual = np.array([True, True, True, False])
+        q = evaluate_skip_prediction(predicted, actual)
+        assert q.actual_sparsity == 0.75
+        assert q.predicted_sparsity == 0.5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_skip_prediction(np.zeros(3, dtype=bool),
+                                     np.zeros(4, dtype=bool))
+
+    def test_merge_pools_counts(self):
+        a = PredictionQuality(1, 2, 3, 4)
+        b = PredictionQuality(10, 20, 30, 40)
+        m = a.merge(b)
+        assert (m.true_positive, m.false_positive,
+                m.true_negative, m.false_negative) == (11, 22, 33, 44)
+
+    def test_f1_harmonic_mean(self):
+        q = PredictionQuality(true_positive=2, false_positive=2,
+                              true_negative=0, false_negative=2)
+        assert q.f1 == pytest.approx(0.5)
+
+    def test_f1_zero_when_degenerate(self):
+        q = PredictionQuality(0, 0, 4, 4)
+        # precision=1 (vacuous), recall=0 -> f1 well-defined
+        assert q.f1 == pytest.approx(0.0, abs=1e-12) or q.f1 < 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(1, 200), seed=st.integers(0, 9999))
+def test_property_counts_partition_total(n, seed):
+    rng = np.random.default_rng(seed)
+    predicted = rng.random(n) < 0.5
+    actual = rng.random(n) < 0.5
+    q = evaluate_skip_prediction(predicted, actual)
+    assert q.total == n
+    assert 0.0 <= q.precision <= 1.0
+    assert 0.0 <= q.recall <= 1.0
+    assert q.actual_sparsity == pytest.approx(actual.mean())
+    assert q.predicted_sparsity == pytest.approx(predicted.mean())
+
+
+class TestSparsity:
+    def test_zeros_counted(self):
+        assert sparsity(np.array([0.0, 1.0, 0.0, 2.0])) == 0.5
+
+    def test_threshold(self):
+        assert sparsity(np.array([0.05, 1.0]), threshold=0.1) == 0.5
+
+    def test_empty(self):
+        assert sparsity(np.array([])) == 0.0

@@ -1,0 +1,91 @@
+"""Tests for optimizers and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.optim import SGD, Adam, clip_grad_norm
+from repro.autograd.tensor import Tensor
+
+
+def quadratic_loss(p: Tensor) -> Tensor:
+    return ((p - 3.0) * (p - 3.0)).sum()
+
+
+class TestSGD:
+    def test_minimises_quadratic(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        p1 = Tensor(np.zeros(1), requires_grad=True)
+        p2 = Tensor(np.zeros(1), requires_grad=True)
+        plain = SGD([p1], lr=0.01)
+        momentum = SGD([p2], lr=0.01, momentum=0.9)
+        for _ in range(20):
+            for p, opt in ((p1, plain), (p2, momentum)):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+        assert abs(p2.data[0] - 3.0) < abs(p1.data[0] - 3.0)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor(np.zeros(1), requires_grad=True)], lr=0.0)
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-2)
+
+    def test_weight_decay_shrinks_params(self):
+        p = Tensor(np.full(3, 10.0), requires_grad=True)
+        opt = Adam([p], lr=0.01, weight_decay=0.5)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()  # zero gradient
+        opt.step()
+        assert np.all(np.abs(p.data) < 10.0)
+
+    def test_skips_params_without_grad(self):
+        p = Tensor(np.ones(2), requires_grad=True)
+        q = Tensor(np.ones(2), requires_grad=True)
+        opt = Adam([p, q], lr=0.1)
+        opt.zero_grad()
+        (p * p).sum().backward()
+        opt.step()
+        np.testing.assert_allclose(q.data, 1.0)
+        assert not np.allclose(p.data, 1.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor(np.zeros(1))])  # no requires_grad
+
+
+class TestClipGradNorm:
+    def test_clips_to_max(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.full(4, 10.0, dtype=np.float32)
+        norm = clip_grad_norm([p], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, abs=1e-5)
+
+    def test_leaves_small_grads_alone(self):
+        p = Tensor(np.zeros(4), requires_grad=True)
+        p.grad = np.full(4, 0.01, dtype=np.float32)
+        before = p.grad.copy()
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, before)
+
+    def test_rejects_bad_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)

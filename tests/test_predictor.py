@@ -1,0 +1,165 @@
+"""Tests for the Eq. (2) decision rule and the predictor object."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alpha import AlphaSchedule
+from repro.core.predictor import (
+    SparseInferPredictor,
+    predict_skip_from_counts,
+    true_skip_mask,
+)
+
+
+class TestDecisionRule:
+    def test_majority_negative_skips(self):
+        # d=100 positions, 60 negative -> alpha=1 skips.
+        assert predict_skip_from_counts(np.array([60]), 100, 1.0)[0]
+
+    def test_majority_positive_keeps(self):
+        assert not predict_skip_from_counts(np.array([40]), 100, 1.0)[0]
+
+    def test_tie_keeps(self):
+        # alpha*Npos < Nneg is strict: 50 < 50 is false -> keep.
+        assert not predict_skip_from_counts(np.array([50]), 100, 1.0)[0]
+
+    def test_alpha_shifts_threshold(self):
+        # At alpha=1.03 with 5120 bits the threshold moves from 2561 to
+        # ceil(103*5120/203) = 2598 -- the paper's conservative margin.
+        n = np.arange(2550, 2650)
+        base = predict_skip_from_counts(n, 5120, 1.0)
+        conservative = predict_skip_from_counts(n, 5120, 1.03)
+        assert base.sum() > conservative.sum()
+        # First skipped count moves from 2561 to 2598.
+        assert n[base.argmax()] == 2561
+        assert n[conservative.argmax()] == 2598
+
+    def test_aggressive_alpha_skips_more(self):
+        n = np.arange(0, 101)
+        aggressive = predict_skip_from_counts(n, 100, 0.9)
+        base = predict_skip_from_counts(n, 100, 1.0)
+        assert aggressive.sum() > base.sum()
+
+    def test_fixed_point_quantisation(self):
+        # alpha = 1.004999 rounds to the same percent as 1.00.
+        n = np.array([51])
+        assert (
+            predict_skip_from_counts(n, 100, 1.004)[0]
+            == predict_skip_from_counts(n, 100, 1.0)[0]
+        )
+
+    def test_invalid_total_bits(self):
+        with pytest.raises(ValueError):
+            predict_skip_from_counts(np.array([1]), 0, 1.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            predict_skip_from_counts(np.array([1]), 10, -1.0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    total=st.integers(32, 4096),
+    alpha_lo=st.floats(0.5, 2.0),
+    alpha_hi=st.floats(0.5, 2.0),
+    seed=st.integers(0, 9999),
+)
+def test_property_skip_set_shrinks_with_alpha(total, alpha_lo, alpha_hi, seed):
+    """Conservativeness is monotone: higher alpha never adds skips."""
+    if alpha_lo > alpha_hi:
+        alpha_lo, alpha_hi = alpha_hi, alpha_lo
+    rng = np.random.default_rng(seed)
+    n_neg = rng.integers(0, total + 1, size=50)
+    skip_lo = predict_skip_from_counts(n_neg, total, alpha_lo)
+    skip_hi = predict_skip_from_counts(n_neg, total, alpha_hi)
+    assert np.all(skip_hi <= skip_lo)  # hi-alpha skips subset of lo-alpha
+
+
+class TestTrueSkipMask:
+    def test_relu_semantics(self):
+        pre = np.array([-1.0, 0.0, 1e-9, 2.0])
+        assert true_skip_mask(pre).tolist() == [True, True, False, False]
+
+
+class TestSparseInferPredictor:
+    @pytest.fixture
+    def gates(self, rng):
+        return [rng.standard_normal((48, 64)).astype(np.float32) for _ in range(3)]
+
+    def test_from_gate_weights(self, gates):
+        p = SparseInferPredictor.from_gate_weights(gates)
+        assert p.n_layers == 3
+        assert p.d_model == 64
+
+    def test_predict_shape_and_dtype(self, gates, rng):
+        p = SparseInferPredictor.from_gate_weights(gates)
+        x = rng.standard_normal(64).astype(np.float32)
+        pred = p.predict(1, x)
+        assert pred.skip.shape == (48,)
+        assert pred.skip.dtype == bool
+        assert pred.n_neg.shape == (48,)
+
+    def test_predict_matches_manual_rule(self, gates, rng):
+        p = SparseInferPredictor.from_gate_weights(gates)
+        x = rng.standard_normal(64).astype(np.float32)
+        pred = p.predict(0, x, alpha=1.0)
+        n_neg = (np.signbit(gates[0]) ^ np.signbit(x)).sum(axis=1)
+        expected = 100 * n_neg > 100 * (64 - n_neg)
+        assert np.array_equal(pred.skip, expected)
+
+    def test_schedule_is_used(self, gates, rng):
+        sched = AlphaSchedule.from_values([1.0, 5.0, 1.0])
+        p = SparseInferPredictor.from_gate_weights(gates, sched)
+        x = rng.standard_normal(64).astype(np.float32)
+        conservative = p.predict(1, x)
+        assert conservative.alpha == 5.0
+        # Layer 1 at alpha=5 must skip no more than at alpha=1.
+        base = p.predict(1, x, alpha=1.0)
+        assert conservative.skip.sum() <= base.skip.sum()
+
+    def test_batch_matches_single(self, gates, rng):
+        p = SparseInferPredictor.from_gate_weights(gates)
+        xs = rng.standard_normal((5, 64)).astype(np.float32)
+        batch = p.predict_batch(0, xs)
+        for i in range(5):
+            assert np.array_equal(batch[i], p.predict(0, xs[i]).skip)
+
+    def test_wrong_input_shape_rejected(self, gates):
+        p = SparseInferPredictor.from_gate_weights(gates)
+        with pytest.raises(ValueError):
+            p.predict(0, np.zeros(65, dtype=np.float32))
+
+    def test_mismatched_layer_widths_rejected(self, rng):
+        gates = [
+            rng.standard_normal((8, 64)).astype(np.float32),
+            rng.standard_normal((8, 32)).astype(np.float32),
+        ]
+        with pytest.raises(ValueError):
+            SparseInferPredictor.from_gate_weights(gates)
+
+    def test_schedule_length_mismatch_rejected(self, gates):
+        with pytest.raises(ValueError):
+            SparseInferPredictor.from_gate_weights(
+                gates, AlphaSchedule.uniform(1.0, 5)
+            )
+
+    def test_nbytes_counts_all_layers(self, gates):
+        p = SparseInferPredictor.from_gate_weights(gates)
+        assert p.nbytes == 3 * 48 * 2 * 4  # 64 bits -> 2 words -> 8 bytes/row
+
+    def test_with_schedule_shares_packing(self, gates):
+        p = SparseInferPredictor.from_gate_weights(gates)
+        p2 = p.with_schedule(AlphaSchedule.uniform(1.03, 3))
+        assert p2.packed_gate(0) is p.packed_gate(0)
+
+    def test_empty_layer_list_rejected(self):
+        with pytest.raises(ValueError):
+            SparseInferPredictor([])
+
+    def test_predicted_sparsity_property(self, gates, rng):
+        p = SparseInferPredictor.from_gate_weights(gates)
+        x = rng.standard_normal(64).astype(np.float32)
+        pred = p.predict(0, x)
+        assert pred.predicted_sparsity == pytest.approx(pred.skip.mean())

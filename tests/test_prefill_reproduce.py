@@ -1,0 +1,66 @@
+"""Tests for the prefill cost model and the reproduce driver."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import jetson_orin_agx_64gb
+from repro.gpu.kernels import prefill_gemm
+from repro.gpu.pipeline import dense_engine, decode_latency, prefill_timeline
+from repro.model.config import prosparse_llama2_13b
+
+
+@pytest.fixture(scope="module")
+def orin():
+    return jetson_orin_agx_64gb()
+
+
+@pytest.fixture(scope="module")
+def cfg13():
+    return prosparse_llama2_13b()
+
+
+class TestPrefillModel:
+    def test_per_token_cost_far_below_decode(self, orin, cfg13):
+        """Amortising weight reads makes prefill tokens much cheaper than
+        decode tokens -- the reason decode, not prefill, is the target."""
+        n = 512
+        prefill = prefill_timeline(cfg13, n).latency(orin) / n
+        decode = decode_latency(cfg13, dense_engine(), orin,
+                                seq_len=n).seconds_per_token
+        assert prefill < 0.25 * decode
+
+    def test_prefill_becomes_compute_bound(self, orin, cfg13):
+        """For long prompts the GEMMs hit the FLOP roof, not the BW roof."""
+        k = prefill_gemm("gate", cfg13.d_ff, cfg13.d_model, 4096)
+        assert k.compute_time(orin) > k.memory_time(orin)
+
+    def test_short_prefill_memory_bound(self, orin, cfg13):
+        k = prefill_gemm("gate", cfg13.d_ff, cfg13.d_model, 1)
+        assert k.memory_time(orin) > k.compute_time(orin)
+
+    def test_latency_grows_with_prompt(self, orin, cfg13):
+        a = prefill_timeline(cfg13, 64).latency(orin)
+        b = prefill_timeline(cfg13, 1024).latency(orin)
+        assert b > a
+
+    def test_invalid_tokens_rejected(self, cfg13):
+        with pytest.raises(ValueError):
+            prefill_gemm("g", 8, 8, 0)
+
+
+class TestReproduceDriver:
+    def test_analytical_run_writes_artifacts(self, tmp_path, capsys):
+        from repro.reproduce import run_analytical
+
+        run_analytical(tmp_path, quick=True)
+        names = {p.name for p in tmp_path.iterdir()}
+        assert {"table1.txt", "sec5a.txt", "fig2.txt", "fig3_13B.txt",
+                "fig3_7B.txt", "fig4_13B.txt", "fig4_7B.txt"} <= names
+        table1 = (tmp_path / "table1.txt").read_text()
+        assert "2.123e+08" in table1
+        capsys.readouterr()  # swallow the console echo
+
+    def test_cli_parses(self, tmp_path):
+        from repro.reproduce import main
+
+        assert main(["--results-dir", str(tmp_path), "--quick"]) == 0

@@ -1,0 +1,105 @@
+"""Tests for quantisation and the sign-robustness property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.signpack import pack_signs
+from repro.quant.fp16 import fp16_roundtrip, to_fp16
+from repro.quant.int8 import Int8Matrix, quantize_int8
+from repro.quant.signbits import packed_signs_from, sign_bits
+
+
+class TestInt8:
+    def test_roundtrip_error_bounded(self, rng):
+        w = rng.standard_normal((8, 32)).astype(np.float32)
+        q = quantize_int8(w)
+        err = np.abs(q.dequantize() - w)
+        # Max error is half a quantisation step per row.
+        steps = q.scales[:, None]
+        assert np.all(err <= steps * 0.5 + 1e-6)
+
+    def test_scales_per_row(self, rng):
+        w = rng.standard_normal((4, 16)).astype(np.float32)
+        w[2] *= 100
+        q = quantize_int8(w)
+        assert q.scales[2] > 10 * q.scales[0]
+
+    def test_all_zero_row(self):
+        q = quantize_int8(np.zeros((2, 8), dtype=np.float32))
+        assert np.all(q.values == 0)
+        np.testing.assert_allclose(q.dequantize(), 0.0)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            quantize_int8(np.zeros(8, dtype=np.float32))
+
+    def test_nbytes(self, rng):
+        q = quantize_int8(rng.standard_normal((4, 16)).astype(np.float32))
+        assert q.nbytes == 4 * 16 + 4 * 4
+
+
+class TestFp16:
+    def test_sign_bits_identical(self, rng):
+        """FP16 casting preserves every sign bit exactly."""
+        w = rng.standard_normal((6, 64)).astype(np.float32)
+        assert np.array_equal(pack_signs(w), pack_signs(to_fp16(w)))
+
+    def test_roundtrip_close(self, rng):
+        w = rng.standard_normal(100).astype(np.float32)
+        np.testing.assert_allclose(fp16_roundtrip(w), w, atol=1e-2)
+
+
+class TestSignBits:
+    def test_float_signbit_semantics(self):
+        x = np.array([-1.0, 0.0, -0.0, 2.0], dtype=np.float32)
+        assert sign_bits(x).tolist() == [True, False, True, False]
+
+    def test_int8_semantics(self):
+        m = Int8Matrix(
+            values=np.array([[-3, 0, 5]], dtype=np.int8),
+            scales=np.ones(1, dtype=np.float32),
+        )
+        assert sign_bits(m).tolist() == [[True, False, False]]
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            sign_bits(np.array(["a"]))
+
+    def test_packed_signs_from_int8_matches_dequant_nonzero(self, rng):
+        """Predictor state built from INT8 equals state built from the
+        dequantised floats wherever quantisation did not round to zero."""
+        w = rng.standard_normal((8, 64)).astype(np.float32)
+        q = quantize_int8(w)
+        from_int8 = packed_signs_from(q)
+        from_dequant = packed_signs_from(q.dequantize())
+        assert np.array_equal(from_int8.words, from_dequant.words)
+
+    def test_rounded_to_zero_packs_positive(self):
+        """Tiny negatives that quantise to 0 become positive sign bits --
+        the conservative direction (keep, never wrongly skip)."""
+        w = np.array([[-1e-6, -1.0] + [1.0] * 30], dtype=np.float32)
+        q = quantize_int8(w)
+        assert q.values[0, 0] == 0
+        bits = sign_bits(q)
+        assert not bits[0, 0]   # packed as positive
+        assert bits[0, 1]
+
+    def test_packed_signs_from_raw_int_array(self):
+        arr = np.array([[-1, 2, -3, 4] * 8], dtype=np.int32)
+        p = packed_signs_from(arr)
+        assert p.n_elements == 32
+        assert p.words.shape == (1, 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 9999), rows=st.integers(1, 6), cols=st.integers(1, 80))
+def test_property_int8_preserves_nonzero_signs(seed, rows, cols):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((rows, cols)).astype(np.float32)
+    q = quantize_int8(w)
+    nonzero = q.values != 0
+    assert np.array_equal(
+        (q.values < 0)[nonzero], np.signbit(w)[nonzero]
+    )

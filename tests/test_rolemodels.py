@@ -1,0 +1,88 @@
+"""Tests for role-model specs and task plumbing (no training here)."""
+
+import pytest
+
+from repro.eval.rolemodels import (
+    build_tokenizer,
+    evaluation_tasks,
+    spec_13b_role,
+    spec_7b_role,
+    training_batches,
+    union_alphabet,
+)
+from repro.workloads import bbh_like, gsm8k_like
+
+
+class TestAlphabet:
+    def test_union_covers_both_tasks(self):
+        alphabet = set(union_alphabet())
+        assert set(gsm8k_like.ALPHABET) <= alphabet
+        assert set(bbh_like.ALPHABET) <= alphabet
+
+    def test_no_duplicates(self):
+        a = union_alphabet()
+        assert len(a) == len(set(a))
+
+    def test_tokenizer_encodes_both_tasks(self):
+        tok = build_tokenizer()
+        for s in gsm8k_like.generate(5, seed=0) + bbh_like.generate(5, seed=0):
+            assert tok.decode(tok.encode(s.text)) == s.text
+
+
+class TestSpecs:
+    def test_13b_role_larger_than_7b_role(self):
+        tok = build_tokenizer()
+        s7, s13 = spec_7b_role(tok), spec_13b_role(tok)
+        assert s13.config.d_model > s7.config.d_model
+        assert s13.config.n_layers > s7.config.n_layers
+        assert s13.config.d_ff > s7.config.d_ff
+
+    def test_specs_are_relufied(self):
+        for spec in (spec_7b_role(), spec_13b_role()):
+            assert spec.config.activation == "relu"
+            assert spec.train_settings.l1_peak > 0  # ProSparse recipe
+
+    def test_training_batches_interleave_tasks(self):
+        tok = build_tokenizer()
+        spec = spec_7b_role(tok)
+        batches = training_batches(spec, tok)
+        assert len(batches) == 2 * spec.n_batches_per_task
+        # Even indices are GSM (digit answers), odd are BBH (T/F answers).
+        gsm_chars = set("0123456789")
+        first = tok.decode(batches[0].tokens[0])
+        second = tok.decode(batches[1].tokens[0])
+        assert any(c in gsm_chars for c in first.split("A:")[-1])
+        assert set(second.split("A:")[-1]) <= {"T", "F"}
+
+
+class TestEvaluationTasks:
+    def test_both_tasks_present(self):
+        tasks = evaluation_tasks(n_samples=5)
+        assert set(tasks) == {"GSM8K-like", "BBH-like"}
+        assert all(len(v) == 5 for v in tasks.values())
+
+    def test_deterministic(self):
+        a = evaluation_tasks(n_samples=3)
+        b = evaluation_tasks(n_samples=3)
+        assert [s.text for s in a["GSM8K-like"]] == [
+            s.text for s in b["GSM8K-like"]
+        ]
+
+    def test_disjoint_from_training_seeds(self):
+        """Eval seed region (>=900) never overlaps training seeds (0..2)."""
+        tok = build_tokenizer()
+        spec = spec_7b_role(tok)
+        train_texts = {
+            tok.decode(b.tokens[i])
+            for b in training_batches(spec, tok)[:4]
+            for i in range(4)
+        }
+        eval_texts = {s.text for s in evaluation_tasks(60)["GSM8K-like"]}
+        # Some rare collisions are possible in a small problem space, but
+        # wholesale overlap would indicate seed reuse.
+        overlap = len(train_texts & eval_texts) / max(len(eval_texts), 1)
+        assert overlap < 0.2
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            evaluation_tasks(0)

@@ -1,0 +1,180 @@
+"""Unit + property tests for sign-bit packing and popcount."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.signpack import (
+    WORD_BITS,
+    PackedSigns,
+    exact_negative_products,
+    pack_signs,
+    popcount,
+    unpack_signs,
+    words_per_row,
+    xor_popcount,
+)
+
+
+class TestWordsPerRow:
+    def test_exact_multiple(self):
+        assert words_per_row(64) == 2
+
+    def test_rounds_up(self):
+        assert words_per_row(65) == 3
+        assert words_per_row(1) == 1
+
+    def test_zero(self):
+        assert words_per_row(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            words_per_row(-1)
+
+    def test_paper_dimension(self):
+        # ProSparse-Llama2-13B: d = 5120 -> 160 words per row (Section V-A.2).
+        assert words_per_row(5120) == 160
+
+
+class TestPackSigns:
+    def test_all_positive_packs_to_zero(self):
+        words = pack_signs(np.ones(96, dtype=np.float32))
+        assert words.shape == (3,)
+        assert np.all(words == 0)
+
+    def test_all_negative_packs_to_ones(self):
+        words = pack_signs(-np.ones(64, dtype=np.float32))
+        assert np.all(words == np.uint32(0xFFFFFFFF))
+
+    def test_negative_zero_counts_as_negative(self):
+        # IEEE-754 MSB semantics: -0.0 has the sign bit set.
+        words = pack_signs(np.array([-0.0, 0.0], dtype=np.float32))
+        assert words[0] == 1
+
+    def test_padding_bits_are_positive(self):
+        words = pack_signs(-np.ones(33, dtype=np.float32))
+        assert words.shape == (2,)
+        assert words[0] == np.uint32(0xFFFFFFFF)
+        assert words[1] == 1  # only bit 0 set; 31 padding bits stay 0
+
+    def test_matrix_packs_rowwise(self):
+        m = np.array([[1.0, -1.0, 1.0], [-1.0, -1.0, -1.0]], dtype=np.float32)
+        words = pack_signs(m)
+        assert words.shape == (2, 1)
+        assert words[0, 0] == 0b010
+        assert words[1, 0] == 0b111
+
+    def test_scalar_rejected(self):
+        with pytest.raises(ValueError):
+            pack_signs(np.float32(1.0))
+
+    def test_fp16_and_fp32_pack_identically(self, rng):
+        x = rng.standard_normal(100).astype(np.float32)
+        assert np.array_equal(pack_signs(x), pack_signs(x.astype(np.float16)))
+
+
+class TestUnpackSigns:
+    def test_roundtrip(self, rng):
+        x = rng.standard_normal((5, 77)).astype(np.float32)
+        assert np.array_equal(
+            unpack_signs(pack_signs(x), 77), np.signbit(x)
+        )
+
+    def test_word_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_signs(np.zeros(2, dtype=np.uint32), 100)
+
+
+class TestPopcount:
+    def test_known_values(self):
+        words = np.array([0, 1, 3, 0xFFFFFFFF, 0x80000000], dtype=np.uint32)
+        assert popcount(words).tolist() == [0, 1, 2, 32, 1]
+
+    def test_matches_python_bin(self, rng):
+        words = rng.integers(0, 2**32, size=200, dtype=np.uint64).astype(np.uint32)
+        expected = [bin(int(w)).count("1") for w in words]
+        assert popcount(words).tolist() == expected
+
+
+class TestXorPopcount:
+    def test_matches_exact_float_reference(self, rng):
+        rows = rng.standard_normal((40, 130)).astype(np.float32)
+        x = rng.standard_normal(130).astype(np.float32)
+        packed = xor_popcount(pack_signs(rows), pack_signs(x))
+        assert np.array_equal(packed, exact_negative_products(rows, x))
+
+    def test_identical_signs_give_zero(self, rng):
+        rows = rng.standard_normal((4, 64)).astype(np.float32)
+        assert np.all(xor_popcount(pack_signs(rows), pack_signs(rows[0])) [0]== 0)
+
+    def test_word_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            xor_popcount(
+                np.zeros((2, 3), dtype=np.uint32), np.zeros(2, dtype=np.uint32)
+            )
+
+
+class TestPackedSigns:
+    def test_from_matrix_shape(self, rng):
+        m = rng.standard_normal((10, 70)).astype(np.float32)
+        p = PackedSigns.from_matrix(m)
+        assert p.n_rows == 10
+        assert p.n_elements == 70
+        assert p.n_words == 3
+        assert p.padded_bits == 96
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            PackedSigns.from_matrix(np.zeros(10, dtype=np.float32))
+
+    def test_nbytes_paper_formula(self):
+        # 13824 rows x 160 words x 4 bytes = 8.4375 MiB per layer.
+        m = np.zeros((13824, 5120), dtype=np.float32)
+        p = PackedSigns.from_matrix(m)
+        assert p.nbytes == 13824 * 160 * 4
+
+    def test_negative_counts_consistency(self, rng):
+        m = rng.standard_normal((8, 96)).astype(np.float32)
+        x = rng.standard_normal(96).astype(np.float32)
+        p = PackedSigns.from_matrix(m)
+        assert np.array_equal(
+            p.negative_counts(x), exact_negative_products(m, x)
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_rows=st.integers(1, 12),
+    d=st.integers(1, 130),
+    seed=st.integers(0, 10_000),
+)
+def test_property_xor_popcount_equals_exact(n_rows, d, seed):
+    """For any shape, the packed path equals the float reference."""
+    rng = np.random.default_rng(seed)
+    rows = rng.standard_normal((n_rows, d)).astype(np.float32)
+    x = rng.standard_normal(d).astype(np.float32)
+    assert np.array_equal(
+        xor_popcount(pack_signs(rows), pack_signs(x)),
+        exact_negative_products(rows, x),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(d=st.integers(1, 200), seed=st.integers(0, 10_000))
+def test_property_pack_unpack_roundtrip(d, seed):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(d).astype(np.float32)
+    assert np.array_equal(unpack_signs(pack_signs(x), d), np.signbit(x))
+
+
+@settings(max_examples=40, deadline=None)
+@given(d=st.integers(1, 96), seed=st.integers(0, 10_000))
+def test_property_padding_never_adds_negative_counts(d, seed):
+    """Padding bits pack as positive: Nneg <= d always."""
+    rng = np.random.default_rng(seed)
+    rows = -np.abs(rng.standard_normal((3, d))).astype(np.float32)
+    x = np.abs(rng.standard_normal(d)).astype(np.float32) + 1e-3
+    counts = xor_popcount(pack_signs(rows), pack_signs(x))
+    assert np.all(counts <= d)
+    assert counts.max() <= words_per_row(d) * WORD_BITS

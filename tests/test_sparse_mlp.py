@@ -1,0 +1,110 @@
+"""Tests for the SparseInfer MLP executor (Section IV semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.alpha import AlphaSchedule
+from repro.core.sparse_mlp import SparseInferMLP
+from repro.model.mlp import DenseMLP
+
+
+@pytest.fixture
+def x(micro_config, rng):
+    return rng.standard_normal(micro_config.d_model).astype(np.float32)
+
+
+class TestEquivalenceInvariants:
+    def test_infinite_alpha_matches_dense(self, micro_weights, micro_config, x):
+        """With alpha -> inf nothing is predicted-skipped and +AS removes
+        only exact zeros, so the output equals the dense block."""
+        sparse = SparseInferMLP(
+            micro_weights,
+            schedule=AlphaSchedule.uniform(1e6, micro_config.n_layers),
+        )
+        dense = DenseMLP(micro_weights)
+        for layer in range(micro_config.n_layers):
+            np.testing.assert_allclose(
+                sparse.run(layer, x), dense.run(layer, x), atol=1e-5
+            )
+
+    def test_actual_sparsity_never_changes_values(self, micro_weights,
+                                                  micro_config, x):
+        """+AS skips only rows whose h1 or h3 is exactly zero; the output
+        must be identical with and without it (same alpha)."""
+        with_as = SparseInferMLP(micro_weights, use_actual_sparsity=True)
+        without_as = SparseInferMLP(micro_weights, use_actual_sparsity=False)
+        for layer in range(micro_config.n_layers):
+            np.testing.assert_allclose(
+                with_as.run(layer, x), without_as.run(layer, x), atol=1e-5
+            )
+
+    def test_zero_alpha_skips_everything_negative_majority(
+        self, micro_weights, x
+    ):
+        """A tiny alpha makes any nonzero Nneg a skip."""
+        sparse = SparseInferMLP(
+            micro_weights,
+            schedule=AlphaSchedule.uniform(1e-6, micro_weights.config.n_layers),
+            use_actual_sparsity=False,
+        )
+        sparse.run(0, x)
+        assert sparse.stats.gate_skip_fraction > 0.9
+
+
+class TestStats:
+    def test_up_skip_at_least_gate_skip_with_as(self, micro_weights, x):
+        """The union (predicted + actual) can only add skips."""
+        sparse = SparseInferMLP(micro_weights, use_actual_sparsity=True)
+        for layer in range(micro_weights.config.n_layers):
+            sparse.run(layer, x)
+        assert sparse.stats.rows_skipped_up >= sparse.stats.rows_skipped_gate
+        assert sparse.stats.rows_skipped_down >= sparse.stats.rows_skipped_up
+
+    def test_without_as_all_stages_match_prediction(self, micro_weights, x):
+        sparse = SparseInferMLP(micro_weights, use_actual_sparsity=False)
+        sparse.run(0, x)
+        assert sparse.stats.rows_skipped_up == sparse.stats.rows_skipped_gate
+        assert sparse.stats.rows_skipped_down == sparse.stats.rows_skipped_gate
+
+    def test_stats_accumulate_and_reset(self, micro_weights, x):
+        sparse = SparseInferMLP(micro_weights)
+        sparse.run(0, x)
+        sparse.run(1, x)
+        assert sparse.stats.calls == 2
+        assert sparse.stats.rows_total == 2 * micro_weights.config.d_ff
+        sparse.reset_stats()
+        assert sparse.stats.calls == 0
+
+    def test_skip_fractions_in_unit_range(self, micro_weights, x):
+        sparse = SparseInferMLP(micro_weights)
+        sparse.run(0, x)
+        for frac in (
+            sparse.stats.gate_skip_fraction,
+            sparse.stats.up_skip_fraction,
+            sparse.stats.down_skip_fraction,
+        ):
+            assert 0.0 <= frac <= 1.0
+
+
+class TestConstruction:
+    def test_predictor_layer_mismatch_rejected(self, micro_weights, rng):
+        from repro.core.predictor import SparseInferPredictor
+
+        wrong = SparseInferPredictor.from_gate_weights(
+            [rng.standard_normal(
+                (micro_weights.config.d_ff, micro_weights.config.d_model)
+            ).astype(np.float32)]
+        )
+        with pytest.raises(ValueError):
+            SparseInferMLP(micro_weights, predictor=wrong)
+
+    def test_schedule_overrides_predictor(self, micro_weights, x):
+        from repro.core.predictor import SparseInferPredictor
+
+        base = SparseInferPredictor.from_gate_weights(
+            micro_weights.gate_matrices()
+        )
+        sched = AlphaSchedule.uniform(1e6, micro_weights.config.n_layers)
+        sparse = SparseInferMLP(micro_weights, predictor=base, schedule=sched)
+        sparse.run(0, x)
+        assert sparse.stats.rows_skipped_gate == 0

@@ -1,0 +1,237 @@
+"""Tests for the training substrate: data, trainer, ProSparse, ReLUfication."""
+
+import numpy as np
+import pytest
+
+from repro.model.config import ModelConfig
+from repro.model.tokenizer import CharTokenizer
+from repro.train.data import IGNORE_INDEX, batches_from_task, encode_sample, make_batch
+from repro.train.lm import TrainableLM
+from repro.train.prosparse import (
+    ProgressiveL1Schedule,
+    calibrate_fatrelu_threshold,
+    gate_l1_penalty,
+    measured_gate_sparsity,
+)
+from repro.train.relufication import relufy
+from repro.train.trainer import TrainSettings, train, train_or_load
+from repro.workloads import gsm8k_like
+
+
+@pytest.fixture(scope="module")
+def train_config(request):
+    tok = CharTokenizer(gsm8k_like.ALPHABET)
+    cfg = ModelConfig(
+        name="train-test", vocab_size=tok.vocab_size, d_model=32,
+        n_layers=2, n_heads=2, d_ff=64, max_seq_len=64, dtype_bytes=4,
+    )
+    return cfg, tok
+
+
+class TestData:
+    def test_encode_sample_offsets(self, train_config):
+        _, tok = train_config
+        sample = gsm8k_like.generate(1, seed=0)[0]
+        ids, answer_start = encode_sample(sample, tok)
+        assert ids[0] == tok.bos_id
+        assert ids[-1] == tok.eos_id
+        decoded = tok.decode(ids)
+        assert decoded == sample.text
+        assert tok.decode(ids[answer_start:]) == sample.answer
+
+    def test_targets_masked_outside_answer(self, train_config):
+        _, tok = train_config
+        samples = gsm8k_like.generate(3, seed=1)
+        batch = make_batch(samples, tok)
+        for row, sample in enumerate(samples):
+            ids, answer_start = encode_sample(sample, tok)
+            # Everything before answer_start-1 is masked.
+            assert np.all(batch.targets[row, : answer_start - 1] == IGNORE_INDEX)
+            # The position just before the answer predicts the answer token.
+            assert batch.targets[row, answer_start - 1] == ids[answer_start]
+
+    def test_full_lm_loss_mode(self, train_config):
+        _, tok = train_config
+        samples = gsm8k_like.generate(2, seed=1)
+        batch = make_batch(samples, tok, answer_only_loss=False)
+        ids, _ = encode_sample(samples[0], tok)
+        assert batch.targets[0, 0] == ids[1]
+
+    def test_padding(self, train_config):
+        _, tok = train_config
+        samples = [
+            gsm8k_like.TaskSample(prompt="Q:1+1=A:", answer="2"),
+            gsm8k_like.TaskSample(prompt="Q:1+1+1+1=A:", answer="4"),
+        ]
+        batch = make_batch(samples, tok)
+        assert batch.tokens.shape[0] == 2
+        ids0, _ = encode_sample(samples[0], tok)
+        assert np.all(batch.tokens[0, len(ids0):] == tok.pad_id)
+        assert np.all(batch.targets[0, len(ids0):] == IGNORE_INDEX)
+
+    def test_empty_batch_rejected(self, train_config):
+        _, tok = train_config
+        with pytest.raises(ValueError):
+            make_batch([], tok)
+
+    def test_batches_from_task(self, train_config):
+        _, tok = train_config
+        batches = batches_from_task(
+            gsm8k_like.generate, tok, n_batches=3, batch_size=4, seed=0
+        )
+        assert len(batches) == 3
+        assert all(b.batch_size == 4 for b in batches)
+
+
+class TestTrainableLM:
+    def test_loss_decreases(self, train_config):
+        cfg, tok = train_config
+        batches = batches_from_task(
+            gsm8k_like.generate, tok, n_batches=2, batch_size=8, seed=0
+        )
+        model = TrainableLM(cfg, seed=0)
+        report = train(model, batches, TrainSettings(steps=30, lr=5e-3,
+                                                     log_every=29))
+        assert report.losses[-1] < report.losses[0]
+
+    def test_export_roundtrip_logits(self, train_config):
+        cfg, _ = train_config
+        model = TrainableLM(cfg, seed=1)
+        weights = model.export_weights()
+        weights.validate()
+        from repro.model.inference import InferenceModel
+
+        tokens = np.array([[1, 3, 5]])
+        train_logits = model.forward(tokens).logits.data[0, -1]
+        engine = InferenceModel(weights)
+        engine.prefill([1, 3])
+        infer_logits = engine.forward_token(5, 2)
+        np.testing.assert_allclose(infer_logits, train_logits, atol=2e-3)
+
+    def test_activation_swap(self, train_config):
+        cfg, _ = train_config
+        model = TrainableLM(cfg, seed=0)
+        model.set_activation("silu")
+        assert model.config.activation == "silu"
+        model.set_activation("fatrelu", 0.1)
+        assert model.config.fatrelu_threshold == 0.1
+
+    def test_gate_activation_collection(self, train_config):
+        cfg, _ = train_config
+        model = TrainableLM(cfg, seed=0)
+        out = model.forward(np.array([[1, 2]]), collect_gate_activations=True)
+        assert len(out.gate_activations) == cfg.n_layers
+        assert out.gate_activations[0].shape == (1, 2, cfg.d_ff)
+        # ReLU output is non-negative.
+        assert np.all(out.gate_activations[0].data >= 0)
+
+    def test_rejects_1d_tokens(self, train_config):
+        cfg, _ = train_config
+        model = TrainableLM(cfg, seed=0)
+        with pytest.raises(ValueError):
+            model.forward(np.array([1, 2, 3]))
+
+
+class TestProSparse:
+    def test_schedule_ramps_and_holds(self):
+        s = ProgressiveL1Schedule(peak=1.0, total_steps=100, warmup_fraction=0.5)
+        assert s.coefficient(0) == 0.0
+        assert s.coefficient(25) == pytest.approx(0.5)
+        assert s.coefficient(50) == pytest.approx(1.0)
+        assert s.coefficient(99) == pytest.approx(1.0)
+
+    def test_schedule_validation(self):
+        with pytest.raises(ValueError):
+            ProgressiveL1Schedule(peak=-1, total_steps=10)
+        with pytest.raises(ValueError):
+            ProgressiveL1Schedule(peak=1, total_steps=0)
+
+    def test_l1_penalty_positive_and_differentiable(self, train_config):
+        cfg, _ = train_config
+        model = TrainableLM(cfg, seed=0)
+        out = model.forward(np.array([[1, 2, 3]]), collect_gate_activations=True)
+        penalty = gate_l1_penalty(out.gate_activations)
+        assert float(penalty.data) >= 0.0
+        penalty.backward()
+        assert model.layers[0]["w_gate"].grad is not None
+
+    def test_l1_increases_gate_sparsity(self, train_config):
+        """The ProSparse recipe must visibly raise measured sparsity."""
+        cfg, tok = train_config
+        batches = batches_from_task(
+            gsm8k_like.generate, tok, n_batches=2, batch_size=8, seed=0
+        )
+        plain = TrainableLM(cfg, seed=2)
+        train(plain, batches, TrainSettings(steps=40, l1_peak=0.0))
+        sparse = TrainableLM(cfg, seed=2)
+        train(sparse, batches, TrainSettings(steps=40, l1_peak=2e-2,
+                                             l1_warmup_fraction=0.3))
+        out_p = plain.forward(batches[0].tokens, collect_gate_activations=True)
+        out_s = sparse.forward(batches[0].tokens, collect_gate_activations=True)
+        assert (
+            measured_gate_sparsity(out_s.gate_activations)
+            > measured_gate_sparsity(out_p.gate_activations)
+        )
+
+    def test_fatrelu_threshold_quantile(self, rng):
+        preacts = rng.standard_normal(10_000)
+        thr = calibrate_fatrelu_threshold(preacts, 0.9)
+        assert thr > 0
+        assert np.mean(preacts < thr) == pytest.approx(0.9, abs=0.02)
+
+    def test_fatrelu_threshold_never_negative(self, rng):
+        preacts = rng.standard_normal(1000) - 10.0  # mostly negative
+        assert calibrate_fatrelu_threshold(preacts, 0.2) == 0.0
+
+
+class TestRelufication:
+    def test_swaps_activation_and_trains(self, train_config):
+        cfg, tok = train_config
+        from dataclasses import replace
+
+        silu_cfg = replace(cfg, activation="silu")
+        model = TrainableLM(silu_cfg, seed=0)
+        batches = batches_from_task(
+            gsm8k_like.generate, tok, n_batches=2, batch_size=8, seed=0
+        )
+        result = relufy(model, batches, TrainSettings(steps=10))
+        assert model.config.activation == "relu"
+        assert len(result.finetune_report.losses) > 0
+
+    def test_fatrelu_stage(self, train_config):
+        cfg, tok = train_config
+        model = TrainableLM(cfg, seed=0)
+        batches = batches_from_task(
+            gsm8k_like.generate, tok, n_batches=1, batch_size=4, seed=0
+        )
+        result = relufy(
+            model, batches, TrainSettings(steps=5),
+            fatrelu_target_sparsity=0.8,
+        )
+        assert model.config.activation == "fatrelu"
+        assert model.config.fatrelu_threshold == result.fatrelu_threshold >= 0.0
+
+
+class TestCache:
+    def test_train_or_load_caches(self, train_config, tmp_path):
+        cfg, tok = train_config
+        batches = batches_from_task(
+            gsm8k_like.generate, tok, n_batches=1, batch_size=4, seed=0
+        )
+        settings = TrainSettings(steps=5)
+        w1 = train_or_load(cfg, "gsm", batches, settings, cache_dir=tmp_path)
+        files = list(tmp_path.glob("*.npz"))
+        assert len(files) == 1
+        w2 = train_or_load(cfg, "gsm", batches, settings, cache_dir=tmp_path)
+        np.testing.assert_array_equal(w1.tok_embed, w2.tok_embed)
+
+    def test_cache_key_varies_with_settings(self, train_config, tmp_path):
+        cfg, tok = train_config
+        batches = batches_from_task(
+            gsm8k_like.generate, tok, n_batches=1, batch_size=4, seed=0
+        )
+        train_or_load(cfg, "gsm", batches, TrainSettings(steps=5),
+                      cache_dir=tmp_path)
+        train_or_load(cfg, "gsm", batches, TrainSettings(steps=6),
+                      cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.npz"))) == 2

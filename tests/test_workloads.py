@@ -1,0 +1,143 @@
+"""Tests for the synthetic task generators (ground-truth correctness)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import bbh_like, gsm8k_like
+from repro.workloads.fewshot import build_fewshot_prompt, fewshot_set
+
+
+def arith_chain(expr: str) -> str:
+    """Independent reference evaluator: running partial sums mod 10."""
+    import re
+
+    tokens = re.findall(r"[+-]?\d", expr)
+    value = int(tokens[0])
+    partials = []
+    for tok in tokens[1:]:
+        value = (value + int(tok)) % 10
+        partials.append(str(value))
+    return "".join(partials)
+
+
+class TestGsm8kLike:
+    def test_answers_are_correct(self):
+        for s in gsm8k_like.generate(100, seed=3):
+            expr = s.prompt[len("Q:"):-len("=A:")]
+            assert s.answer == arith_chain(expr), s.prompt
+
+    def test_final_digit_matches_full_expression(self):
+        for s in gsm8k_like.generate(50, seed=4):
+            expr = s.prompt[len("Q:"):-len("=A:")]
+            assert int(s.answer[-1]) == eval(expr) % 10  # noqa: S307
+
+    def test_deterministic(self):
+        a = gsm8k_like.generate(10, seed=5)
+        b = gsm8k_like.generate(10, seed=5)
+        assert [s.text for s in a] == [s.text for s in b]
+
+    def test_seeds_differ(self):
+        a = gsm8k_like.generate(10, seed=1)
+        b = gsm8k_like.generate(10, seed=2)
+        assert [s.text for s in a] != [s.text for s in b]
+
+    def test_alphabet_covers_samples(self):
+        allowed = set(gsm8k_like.ALPHABET)
+        for s in gsm8k_like.generate(50, seed=0, n_terms=4):
+            assert set(s.text) <= allowed
+
+    def test_answer_length_is_terms_minus_one(self):
+        for s in gsm8k_like.generate(50, seed=0, n_terms=4):
+            assert len(s.answer) == 3 and s.answer.isdigit()
+
+    def test_n_terms_respected(self):
+        s = gsm8k_like.make_problem(np.random.default_rng(0), n_terms=5)
+        digits = [c for c in s.prompt if c.isdigit()]
+        assert len(digits) == 5
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            gsm8k_like.generate(0)
+        with pytest.raises(ValueError):
+            gsm8k_like.make_problem(np.random.default_rng(0), n_terms=1)
+
+
+class TestBbhLike:
+    def test_answers_are_correct(self):
+        for s in bbh_like.generate(100, seed=7):
+            expr = s.prompt[len("Q:"):-len("=A:")]
+            assert s.answer == _left_to_right_chain(expr), s.prompt
+
+    def test_deterministic(self):
+        a = bbh_like.generate(8, seed=9)
+        b = bbh_like.generate(8, seed=9)
+        assert [s.text for s in a] == [s.text for s in b]
+
+    def test_alphabet_covers_samples(self):
+        allowed = set(bbh_like.ALPHABET)
+        for s in bbh_like.generate(50, seed=0, n_terms=4):
+            assert set(s.text) <= allowed
+
+    def test_answers_boolean_chain(self):
+        for s in bbh_like.generate(30, seed=0, n_terms=3):
+            assert len(s.answer) == 3
+            assert set(s.answer) <= {"T", "F"}
+
+
+def _left_to_right_chain(expr: str) -> str:
+    """Reference evaluator: strict left-to-right with prefix !, emitting
+    the resolved first term and every running result."""
+    tokens = []
+    i = 0
+    while i < len(expr):
+        if expr[i] == "!":
+            tokens.append(("val", expr[i + 1] == "T", True))
+            i += 2
+        elif expr[i] in "TF":
+            tokens.append(("val", expr[i] == "T", False))
+            i += 1
+        else:
+            tokens.append(("op", expr[i], False))
+            i += 1
+    acc = None
+    pending_op = None
+    chain = []
+    for kind, value, negated in tokens:
+        if kind == "val":
+            v = (not value) if negated else value
+            if acc is None:
+                acc = v
+            elif pending_op == "&":
+                acc = acc and v
+            else:
+                acc = acc or v
+            chain.append(acc)
+        else:
+            pending_op = value
+    return "".join("T" if v else "F" for v in chain)
+
+
+class TestFewShot:
+    def test_prompt_carries_exemplars(self):
+        exemplars = gsm8k_like.generate(2, seed=1)
+        test = gsm8k_like.generate(1, seed=2)[0]
+        fs = build_fewshot_prompt(exemplars, test)
+        assert fs.prompt.endswith(test.prompt)
+        assert exemplars[0].text in fs.prompt
+        assert fs.answer == test.answer
+
+    def test_fewshot_set_disjoint_seeds(self):
+        samples = fewshot_set(gsm8k_like.generate, 5, n_shots=3, seed=0)
+        assert len(samples) == 5
+        # Every prompt shares the same 3-exemplar prefix.
+        prefix = samples[0].prompt[: samples[0].prompt.index("Q:", 1)]
+        assert all(s.prompt.startswith(prefix) for s in samples)
+
+    def test_zero_shots(self):
+        samples = fewshot_set(gsm8k_like.generate, 3, n_shots=0, seed=0)
+        plain = gsm8k_like.generate(3, seed=0)
+        assert [s.prompt for s in samples] == [p.prompt for p in plain]
+
+    def test_negative_shots_rejected(self):
+        with pytest.raises(ValueError):
+            fewshot_set(gsm8k_like.generate, 3, n_shots=-1)
