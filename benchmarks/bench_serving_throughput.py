@@ -1,0 +1,159 @@
+"""Serving throughput: batched sparse decode vs the sequential engine.
+
+Sweeps the decode batch size over a synthetic-weight model and reports
+measured tokens/sec alongside the realised cross-sequence skip
+intersection, compared against the analytical ``skip^B`` decay curve of
+:func:`repro.gpu.batching.batch_skip_fraction` (correlation = 0, i.e.
+independent sequences -- the worst case for batched sparsity).
+
+Run:  python benchmarks/bench_serving_throughput.py
+or:   pytest benchmarks/bench_serving_throughput.py -q -p no:cacheprovider
+
+Expected shape of the result: batch=1 serving matches the sequential
+engine (same tokens, slight scheduler overhead), larger batches trade
+per-sequence sparsity (the intersection decays toward zero) for
+weight-read amortisation, with batch 4 at least 2x sequential throughput.
+"""
+
+import os
+from pathlib import Path
+
+for _var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS",
+             "NUMEXPR_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import numpy as np
+
+from repro.core.engine import SparseInferSettings, build_predictor
+from repro.eval.latency import (
+    measure_batched_serving,
+    measure_sequential_serving,
+)
+from repro.eval.reporting import format_serving_sweep
+from repro.gpu.batching import batch_skip_fraction
+from repro.model.config import ModelConfig
+from repro.model.weights import random_weights
+from repro.serving import Request
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+BATCH_SIZES = (1, 2, 4, 8)
+N_REQUESTS = 8
+MAX_NEW_TOKENS = 64
+
+
+def bench_config() -> ModelConfig:
+    """Large enough that decode GEMMs dominate, small enough to be quick."""
+    return ModelConfig(
+        name="serve-bench",
+        vocab_size=2048,
+        d_model=256,
+        n_layers=4,
+        n_heads=4,
+        d_ff=1024,
+        max_seq_len=128,
+        dtype_bytes=4,
+    )
+
+
+def build_requests(vocab_size: int, seed: int = 0) -> list:
+    rng = np.random.default_rng(seed)
+    requests = []
+    for i in range(N_REQUESTS):
+        prompt_len = 3 + (i % 3)
+        prompt = tuple(int(t) for t in
+                       rng.integers(1, vocab_size - 1, size=prompt_len))
+        requests.append(
+            Request(request_id=i, prompt_ids=prompt,
+                    max_new_tokens=MAX_NEW_TOKENS)
+        )
+    return requests
+
+
+def run_sweep(repeats: int = 2):
+    """Measure the full sweep; returns (baseline, points, analytic skips).
+
+    Each configuration is measured ``repeats`` times and the fastest run
+    kept (min-latency benchmarking -- transient machine load only ever
+    slows a run down).
+    """
+    config = bench_config()
+    weights = random_weights(config, seed=5)
+    requests = build_requests(config.vocab_size)
+    # Sign-bit packing is the one expensive offline step; share it across
+    # every measurement instead of re-packing per engine build.
+    predictor = build_predictor(weights, SparseInferSettings())
+    best = lambda measurements: max(  # noqa: E731
+        measurements, key=lambda m: m.tokens_per_second
+    )
+    baseline = best([
+        measure_sequential_serving(weights, requests, predictor=predictor)
+        for _ in range(repeats)
+    ])
+    points = [
+        best([
+            measure_batched_serving(weights, requests, batch_size,
+                                    predictor=predictor)
+            for _ in range(repeats)
+        ])
+        for batch_size in BATCH_SIZES
+    ]
+    analytic = [
+        batch_skip_fraction(
+            baseline.sequence_skip,
+            max(1, round(point.mean_batch_occupancy)),
+        )
+        for point in points
+    ]
+    return baseline, points, analytic
+
+
+def check_sweep(baseline, points, analytic) -> None:
+    """The acceptance properties of the sweep."""
+    by_batch = {p.max_batch_size: p for p in points}
+    # Batch 1 serving realises the full per-sequence skip...
+    np.testing.assert_allclose(
+        by_batch[1].intersection_skip, baseline.sequence_skip, atol=0.02
+    )
+    # ...and the intersection decays monotonically with batch size,
+    # tracking the analytical skip^B curve.
+    skips = [p.intersection_skip for p in points]
+    assert skips == sorted(skips, reverse=True), skips
+    for point, expected in zip(points, analytic):
+        if point.mean_batch_occupancy >= 1.5:
+            assert point.intersection_skip < baseline.sequence_skip
+        assert abs(point.intersection_skip - expected) < 0.15
+    # Throughput: batching beats sequential decode by >= 2x at batch 4.
+    assert by_batch[4].speedup_over(baseline) >= 2.0, (
+        f"batch-4 speedup {by_batch[4].speedup_over(baseline):.2f}x < 2x"
+    )
+
+
+def main() -> int:
+    baseline, points, analytic = run_sweep()
+    lines = [
+        f"serving throughput sweep over {bench_config().name} "
+        f"({N_REQUESTS} requests x {MAX_NEW_TOKENS} tokens, greedy)",
+        "",
+        format_serving_sweep(baseline, points, analytic),
+        "",
+        f"per-sequence predicted skip: {baseline.sequence_skip:.1%} "
+        "(the batch=1 ceiling the intersection decays from)",
+    ]
+    text = "\n".join(lines)
+    print(text)
+    check_sweep(baseline, points, analytic)
+    print("\nall serving-throughput checks passed "
+          "(batch-4 speedup >= 2x, intersection tracks skip^B)")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "serving_throughput.txt").write_text(text + "\n")
+    return 0
+
+
+def test_serving_throughput_sweep():
+    """Pytest entry point mirroring the script run."""
+    baseline, points, analytic = run_sweep()
+    check_sweep(baseline, points, analytic)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

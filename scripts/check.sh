@@ -1,0 +1,9 @@
+#!/bin/sh
+# Tier-1 gate: the exact verify command from ROADMAP.md.
+# Usage: scripts/check.sh [extra pytest args]
+#   scripts/check.sh                 # fast tier-1 suite
+#   scripts/check.sh -m slow         # long-running tests only
+#   scripts/check.sh -m ""           # everything
+set -eu
+cd "$(dirname "$0")/.."
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q "$@"

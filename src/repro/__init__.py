@@ -20,6 +20,7 @@ and :mod:`repro.model.synthetic` (statistical activation model).
 from .core.alpha import AlphaSchedule, calibrate_alpha
 from .core.engine import (
     SparseInferSettings,
+    build_batched_engine,
     build_engine,
     build_predictor,
     dense_engine,
@@ -60,6 +61,7 @@ __all__ = [
     "SparseInferPredictor",
     "SparseInferSettings",
     "SyntheticActivationModel",
+    "build_batched_engine",
     "build_engine",
     "build_predictor",
     "calibrate_alpha",

@@ -10,9 +10,16 @@
 """
 
 from .alpha import AlphaSchedule, calibrate_alpha
-from .engine import SparseInferSettings, build_engine, build_predictor, dense_engine
+from .engine import (
+    SparseInferSettings,
+    build_batched_engine,
+    build_engine,
+    build_predictor,
+    dense_engine,
+)
 from .metrics import PredictionQuality, evaluate_skip_prediction, sparsity
 from .predictor import (
+    BatchPrediction,
     LayerPrediction,
     SparseInferPredictor,
     predict_skip_from_counts,

@@ -87,3 +87,29 @@ def dense_engine(weights: ModelWeights,
     """The llama.cpp-role dense reference engine."""
     return InferenceModel(weights, mlp=DenseMLP(weights),
                           trace_mlp_inputs=trace_mlp_inputs)
+
+
+def build_batched_engine(
+    weights: ModelWeights,
+    settings: Optional[SparseInferSettings] = None,
+    predictor: Optional[SparseInferPredictor] = None,
+    max_batch_size: int = 8,
+    max_seq_len: int = 0,
+):
+    """A serving-grade batched SparseInfer engine.
+
+    Same knobs as :func:`build_engine` plus the slot pool size.  Returns a
+    :class:`repro.serving.engine.BatchedEngine`: per-sequence KV slots,
+    dense per-sequence prefill, batched sparse decode exploiting the
+    cross-sequence intersection of predicted skip sets (imported lazily --
+    :mod:`repro.serving` builds on this module).
+    """
+    from ..serving.engine import BatchedEngine
+
+    return BatchedEngine(
+        weights,
+        settings=settings,
+        predictor=predictor,
+        max_batch_size=max_batch_size,
+        max_seq_len=max_seq_len,
+    )

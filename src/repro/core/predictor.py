@@ -29,7 +29,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from .alpha import ALPHA_SCALE, AlphaSchedule, alpha_to_fixed_point
-from .signpack import PackedSigns, pack_signs
+from .signpack import PackedSigns, pack_signs, xor_popcount
 
 
 def predict_skip_from_counts(
@@ -75,6 +75,44 @@ class LayerPrediction:
     def predicted_sparsity(self) -> float:
         """Fraction of rows predicted skippable."""
         return float(self.skip.mean()) if self.skip.size else 0.0
+
+
+@dataclass(frozen=True)
+class BatchPrediction:
+    """One layer's sparsity prediction for a batch of sequences.
+
+    In batched decode a gate row's weights can only go unread when *every*
+    co-scheduled sequence predicts it sparse, so the exploitable skip set
+    is the AND across the batch (see :mod:`repro.gpu.batching` for the
+    analytical ``skip^B`` decay this implies).  Per-sequence masks are kept
+    alongside the intersection: rows outside the intersection are computed
+    for everyone, then re-zeroed for the sequences that predicted them
+    sparse so batched outputs match single-sequence decoding exactly.
+    """
+
+    skip: np.ndarray          # bool (B, k) - per-sequence predictions
+    n_neg: np.ndarray         # int64 (B, k)
+    alpha: float
+
+    @property
+    def batch_size(self) -> int:
+        return self.skip.shape[0]
+
+    @property
+    def intersection_skip(self) -> np.ndarray:
+        """Rows every sequence predicts sparse -- the exploitable set (k,)."""
+        return self.skip.all(axis=0)
+
+    @property
+    def intersection_sparsity(self) -> float:
+        """Fraction of gate rows whose weights the whole batch can skip."""
+        inter = self.intersection_skip
+        return float(inter.mean()) if inter.size else 0.0
+
+    @property
+    def per_sequence_sparsity(self) -> np.ndarray:
+        """Predicted skip fraction of each sequence, shape (B,)."""
+        return self.skip.mean(axis=1)
 
 
 class SparseInferPredictor:
@@ -174,20 +212,38 @@ class SparseInferPredictor:
     ) -> np.ndarray:
         """Skip masks for a batch of inputs, shape ``(n, d)`` -> ``(n, k)``.
 
-        Convenience for offline precision/recall measurement; decoding
-        itself is one token (one vector) at a time.
+        Sign-packing and XOR+popcount run once for the whole batch (a
+        single broadcast over the packed words), not once per sequence;
+        this is the predictor step the batched serving engine calls every
+        decode step.
+        """
+        return self.predict_intersection(layer, xs, alpha).skip
+
+    def predict_intersection(
+        self,
+        layer: int,
+        xs: np.ndarray,
+        alpha: Optional[float] = None,
+    ) -> BatchPrediction:
+        """Batched prediction with the cross-sequence intersection.
+
+        ``xs`` holds the ``(B, d)`` MLP inputs of the active sequences.
+        Returns per-sequence skip masks plus (via the result object) the
+        AND across the batch -- the only rows whose weight reads a batched
+        GEMV can actually avoid.
         """
         xs = np.atleast_2d(np.asarray(xs))
         packed = self._packed[layer]
+        if xs.shape[-1] != packed.n_elements:
+            raise ValueError(
+                f"expected inputs of width {packed.n_elements}, got {xs.shape}"
+            )
         if alpha is None:
             alpha = self.schedule[layer]
-        packed_xs = pack_signs(xs)                       # (n, nwords)
-        # (n, k) negative counts via broadcasting XOR per sample.
-        out = np.empty((xs.shape[0], packed.n_rows), dtype=bool)
-        for i in range(xs.shape[0]):
-            n_neg = packed.negative_counts_packed(packed_xs[i])
-            out[i] = predict_skip_from_counts(n_neg, packed.padded_bits, alpha)
-        return out
+        packed_xs = pack_signs(xs)                          # (B, nwords)
+        n_neg = xor_popcount(packed.words, packed_xs)       # (B, k)
+        skip = predict_skip_from_counts(n_neg, packed.padded_bits, alpha)
+        return BatchPrediction(skip=skip, n_neg=n_neg, alpha=float(alpha))
 
 
 def true_skip_mask(gate_preact: np.ndarray) -> np.ndarray:

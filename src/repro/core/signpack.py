@@ -87,10 +87,15 @@ def unpack_signs(words: np.ndarray, n_elements: int) -> np.ndarray:
 def popcount(words: np.ndarray) -> np.ndarray:
     """Element-wise population count of a uint32 array.
 
-    Vectorised equivalent of CUDA ``__popc``: each 32-bit word is viewed as
-    four bytes and summed through an 8-bit lookup table.
+    Vectorised equivalent of CUDA ``__popc``.  Uses the native
+    ``np.bitwise_count`` ufunc when available (numpy >= 2.0); the byte
+    lookup-table fallback views each 32-bit word as four bytes and sums
+    them through an 8-bit table.
     """
-    words = np.ascontiguousarray(np.asarray(words, dtype=np.uint32))
+    words = np.asarray(words, dtype=np.uint32)
+    if hasattr(np, "bitwise_count"):
+        return np.bitwise_count(words).astype(np.int64)
+    words = np.ascontiguousarray(words)
     as_bytes = words.view(np.uint8).reshape(words.shape + (4,))
     return _POPCOUNT8[as_bytes].sum(axis=-1, dtype=np.int64)
 
@@ -99,10 +104,15 @@ def xor_popcount(packed_rows: np.ndarray, packed_x: np.ndarray) -> np.ndarray:
     """Predicted count of negative products per row (``Nneg`` in the paper).
 
     ``packed_rows`` has shape ``(k, nwords)`` (one row per gate neuron) and
-    ``packed_x`` shape ``(nwords,)``.  Returns an ``int64`` array of shape
-    ``(k,)`` holding, for each row ``i``, the number of element positions
-    where ``sign(Wgate[i, j]) != sign(X[j])`` -- i.e. where the product
-    ``X[j] * Wgate[i, j]`` is predicted negative.
+    ``packed_x`` shape ``(nwords,)`` or ``(..., nwords)`` for a batch of
+    input vectors.  Returns an ``int64`` array of shape ``(k,)`` (or
+    ``(..., k)``) holding, for each row ``i``, the number of element
+    positions where ``sign(Wgate[i, j]) != sign(X[j])`` -- i.e. where the
+    product ``X[j] * Wgate[i, j]`` is predicted negative.
+
+    The batched form is one broadcast XOR + one table-lookup popcount for
+    the whole batch; the serving engine relies on this to amortise the
+    predictor over all co-scheduled sequences.
     """
     packed_rows = np.asarray(packed_rows, dtype=np.uint32)
     packed_x = np.asarray(packed_x, dtype=np.uint32)
@@ -111,7 +121,10 @@ def xor_popcount(packed_rows: np.ndarray, packed_x: np.ndarray) -> np.ndarray:
             f"word-count mismatch: rows have {packed_rows.shape[-1]} words, "
             f"x has {packed_x.shape[-1]}"
         )
-    return popcount(packed_rows ^ packed_x).sum(axis=-1)
+    if packed_x.ndim == 1:
+        return popcount(packed_rows ^ packed_x).sum(axis=-1)
+    xor = packed_x[..., None, :] ^ packed_rows          # (..., k, nwords)
+    return popcount(xor).sum(axis=-1)
 
 
 def exact_negative_products(rows: np.ndarray, x: np.ndarray) -> np.ndarray:

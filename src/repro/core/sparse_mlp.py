@@ -70,10 +70,20 @@ class SparseInferMLP:
         self._act = activation_fn(cfg.activation, cfg.fatrelu_threshold)
 
     def run(self, layer: int, x: np.ndarray) -> np.ndarray:
+        return self.run_with_skip(layer, x, self.predictor.predict(layer, x).skip)
+
+    def run_with_skip(
+        self, layer: int, x: np.ndarray, skip: np.ndarray
+    ) -> np.ndarray:
+        """The sparse MLP given an already-computed skip mask.
+
+        Split out from :meth:`run` so the batched serving engine, which
+        predicts all sequences in one packed popcount pass, can execute a
+        degenerate batch through the exact single-sequence op sequence.
+        """
         lw = self.weights.layers[layer]
         k = lw.w_gate_rows.shape[0]
-        prediction = self.predictor.predict(layer, x)
-        keep = ~prediction.skip
+        keep = ~skip
 
         # Step 1 -- gate GEMV over surviving rows only.
         h1_live = self._act(lw.w_gate_rows[keep] @ x)
@@ -99,7 +109,7 @@ class SparseInferMLP:
 
         self.stats.calls += 1
         self.stats.rows_total += k
-        self.stats.rows_skipped_gate += int(prediction.skip.sum())
+        self.stats.rows_skipped_gate += int(skip.sum())
         self.stats.rows_skipped_up += k - int(live_mask.sum())
         self.stats.rows_skipped_down += k - len(down_live)
         return out.astype(np.float32)

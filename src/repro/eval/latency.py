@@ -147,6 +147,154 @@ def figure4(
     return result
 
 
+@dataclass(frozen=True)
+class ServingMeasurement:
+    """Measured throughput/latency of one serving configuration.
+
+    ``intersection_skip`` is the realised cross-sequence skip fraction
+    (weight-read granularity) and ``sequence_skip`` the mean per-sequence
+    prediction -- the batch=1 ceiling the intersection decays from, to be
+    compared against :func:`repro.gpu.batching.batch_skip_fraction`.
+
+    ``mean_decode_steps_per_request`` counts the model forwards a request
+    took part in after its prefill (its first token comes from the
+    prefill logits in both engines), so the same request costs the same
+    value at any batch size -- queueing delay is deliberately excluded;
+    use :class:`repro.serving.Completion` tick telemetry for that.
+    """
+
+    label: str
+    max_batch_size: int
+    n_requests: int
+    tokens_generated: int
+    prefill_seconds: float
+    decode_seconds: float
+    decode_steps: int
+    mean_batch_occupancy: float
+    mean_decode_steps_per_request: float
+    intersection_skip: float
+    sequence_skip: float
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.prefill_seconds + self.decode_seconds
+
+    @property
+    def tokens_per_second(self) -> float:
+        return self.tokens_generated / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def decode_tokens_per_second(self) -> float:
+        return self.tokens_generated / self.decode_seconds if self.decode_seconds else 0.0
+
+    def speedup_over(self, other: "ServingMeasurement") -> float:
+        return self.tokens_per_second / other.tokens_per_second
+
+
+def measure_batched_serving(
+    weights,
+    requests,
+    max_batch_size: int,
+    settings=None,
+    predictor=None,
+) -> ServingMeasurement:
+    """Drain ``requests`` through a batched engine and measure throughput.
+
+    ``requests`` is a sequence of :class:`repro.serving.Request`; a fresh
+    engine/scheduler pair is built per call so measurements are
+    independent.
+    """
+    from ..core.engine import build_batched_engine
+    from ..serving.scheduler import ContinuousBatchingScheduler
+
+    engine = build_batched_engine(
+        weights, settings=settings, predictor=predictor,
+        max_batch_size=max_batch_size,
+    )
+    scheduler = ContinuousBatchingScheduler(engine)
+    for request in requests:
+        scheduler.submit(request)
+    report = scheduler.run()
+    steps = [c.decode_steps for c in report.completions]
+    return ServingMeasurement(
+        label=f"batched(B<={max_batch_size})",
+        max_batch_size=max_batch_size,
+        n_requests=len(report.completions),
+        tokens_generated=report.tokens_generated,
+        prefill_seconds=report.prefill_seconds,
+        decode_seconds=report.decode_seconds,
+        decode_steps=report.decode_steps,
+        mean_batch_occupancy=report.mean_batch_occupancy,
+        mean_decode_steps_per_request=float(np.mean(steps)) if steps else 0.0,
+        intersection_skip=engine.sparse.stats.intersection_skip_fraction,
+        sequence_skip=engine.sparse.stats.mean_sequence_skip_fraction,
+    )
+
+
+def measure_sequential_serving(
+    weights,
+    requests,
+    settings=None,
+    predictor=None,
+) -> ServingMeasurement:
+    """The one-request-at-a-time baseline over the classic engine.
+
+    Greedy decoding with the same token semantics as
+    :meth:`~repro.model.inference.InferenceModel.generate`, but with
+    prefill and decode timed separately (mirroring the batched
+    scheduler's accounting) and without ``generate``'s trailing unused
+    forward, so per-phase numbers compare apples-to-apples.
+    """
+    import time
+
+    from ..core.engine import build_engine
+
+    engine = build_engine(weights, settings=settings, predictor=predictor)
+    tokens = 0
+    decode_steps = 0
+    prefill_seconds = 0.0
+    decode_seconds = 0.0
+    latencies = []
+    for request in requests:
+        engine.reset()
+        t0 = time.perf_counter()
+        logits = engine.prefill(list(request.prompt_ids))
+        prefill_seconds += time.perf_counter() - t0
+        generated = 0
+        request_steps = 0
+        while generated < request.max_new_tokens:
+            next_id = int(np.argmax(logits))
+            if request.stop_ids and next_id in request.stop_ids:
+                break
+            generated += 1
+            if generated < request.max_new_tokens:
+                # Clock only the model forward, mirroring the scheduler,
+                # which samples outside its decode timer too.
+                t0 = time.perf_counter()
+                logits = engine.forward_token(next_id, engine.cache.length)
+                decode_seconds += time.perf_counter() - t0
+                request_steps += 1
+        tokens += generated
+        decode_steps += request_steps
+        latencies.append(request_steps)
+    stats = engine.mlp.stats
+    return ServingMeasurement(
+        label="sequential",
+        max_batch_size=1,
+        n_requests=len(requests),
+        tokens_generated=tokens,
+        prefill_seconds=prefill_seconds,
+        decode_seconds=decode_seconds,
+        decode_steps=decode_steps,
+        mean_batch_occupancy=1.0,
+        mean_decode_steps_per_request=(
+            float(np.mean(latencies)) if latencies else 0.0
+        ),
+        intersection_skip=stats.gate_skip_fraction,
+        sequence_skip=stats.gate_skip_fraction,
+    )
+
+
 def format_figure4(result: Figure4Result) -> str:
     """Text rendering of one Fig. 4 panel (ms per token)."""
     lines = [

@@ -59,3 +59,36 @@ def markdown_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
         "| " + " | ".join(str(c) for c in row) + " |" for row in rows
     ]
     return "\n".join([head, sep, *body])
+
+
+def format_serving_sweep(baseline, points, analytic_skips=None) -> str:
+    """Render a serving batch-size sweep against the sequential baseline.
+
+    ``baseline`` and ``points`` are
+    :class:`repro.eval.latency.ServingMeasurement` objects; the optional
+    ``analytic_skips`` aligns one
+    :func:`repro.gpu.batching.batch_skip_fraction` value per point so the
+    measured intersection can be read against the ``skip^B`` decay curve.
+    """
+    if analytic_skips is not None and len(analytic_skips) != len(points):
+        raise ValueError("need one analytic skip value per sweep point")
+    headers = ["engine", "tok/s", "speedup", "occupancy",
+               "skip (measured)", "skip (skip^B)"]
+    rows = [[
+        baseline.label, f"{baseline.tokens_per_second:.1f}", "1.00x",
+        f"{baseline.mean_batch_occupancy:.2f}",
+        f"{baseline.intersection_skip:.1%}", "-",
+    ]]
+    for i, point in enumerate(points):
+        analytic = (
+            f"{analytic_skips[i]:.1%}" if analytic_skips is not None else "-"
+        )
+        rows.append([
+            point.label,
+            f"{point.tokens_per_second:.1f}",
+            f"{point.speedup_over(baseline):.2f}x",
+            f"{point.mean_batch_occupancy:.2f}",
+            f"{point.intersection_skip:.1%}",
+            analytic,
+        ])
+    return markdown_table(headers, rows)

@@ -25,6 +25,47 @@ from .rope import apply_rope, rope_tables
 from .weights import ModelWeights
 
 
+def attend_single(
+    config: ModelConfig,
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    position: int,
+    cache,
+    layer: int,
+    rope: Optional[tuple] = None,
+) -> np.ndarray:
+    """RoPE + cache append + causal attention for one sequence, one token.
+
+    ``q``/``k``/``v`` are the raw ``(d_model,)`` projections; ``cache`` is
+    anything with the :class:`~repro.model.kvcache.KVCache` interface (a
+    standalone cache or one :class:`~repro.model.kvcache.KVSlot` of a
+    serving batch).  Returns the pre-``Wo`` context vector.  Both the
+    single-sequence and the batched engines funnel through this function,
+    which is what makes their outputs bit-identical.
+
+    ``rope`` optionally carries the ``(cos, sin)`` tables for ``position``
+    so callers stepping many layers (or many sequences) per token can
+    compute them once instead of once per layer.
+    """
+    n_heads, head_dim = config.n_heads, config.head_dim
+    if rope is None:
+        rope = rope_tables(np.array([position]), head_dim, config.rope_theta)
+    cos, sin = rope
+    q = apply_rope(q.reshape(n_heads, 1, head_dim), cos, sin).reshape(n_heads, head_dim)
+    k = apply_rope(k.reshape(n_heads, 1, head_dim), cos, sin).reshape(-1)
+    cache.append(layer, k, v, position)
+    length = position + 1
+    keys, values = cache.view(layer, length)               # (len, d)
+    kh = keys.reshape(length, n_heads, head_dim).transpose(1, 0, 2)
+    vh = values.reshape(length, n_heads, head_dim).transpose(1, 0, 2)
+    scores = np.einsum("hd,htd->ht", q, kh) / np.sqrt(head_dim)
+    scores -= scores.max(axis=-1, keepdims=True)
+    probs = np.exp(scores)
+    probs /= probs.sum(axis=-1, keepdims=True)
+    return np.einsum("ht,htd->hd", probs, vh).reshape(config.d_model)
+
+
 @dataclass
 class MLPTrace:
     """Recorded MLP-block inputs for offline analysis."""
@@ -32,6 +73,47 @@ class MLPTrace:
     layer: int
     x: np.ndarray            # (d,) RMS-normed input to the MLP block
     gate_preact: np.ndarray  # (k,) exact x @ Wgate^T
+
+
+def forward_token_single(
+    weights: ModelWeights,
+    token_id: int,
+    position: int,
+    cache,
+    mlp,
+    traces: Optional[list] = None,
+    rope: Optional[tuple] = None,
+) -> np.ndarray:
+    """One token through the full decoder stack for one sequence.
+
+    The shared op sequence behind both :meth:`InferenceModel.forward_token`
+    and the serving engine's per-slot path -- ``cache`` is anything with
+    the :class:`~repro.model.kvcache.KVCache` interface.  Does **not**
+    advance the cache; the caller owns step accounting.  When ``traces``
+    is a list, an :class:`MLPTrace` is appended per layer.
+    """
+    cfg = weights.config
+    x = weights.tok_embed[token_id].astype(np.float32).copy()
+    for layer in range(cfg.n_layers):
+        lw = weights.layers[layer]
+        attn_in = rmsnorm(x, lw.attn_norm, cfg.norm_eps)
+        ctx = attend_single(
+            cfg, attn_in @ lw.wq, attn_in @ lw.wk, attn_in @ lw.wv,
+            position, cache, layer, rope=rope,
+        )
+        x = x + ctx @ lw.wo
+        mlp_in = rmsnorm(x, lw.mlp_norm, cfg.norm_eps)
+        if traces is not None:
+            traces.append(
+                MLPTrace(
+                    layer=layer,
+                    x=mlp_in.copy(),
+                    gate_preact=lw.w_gate_rows @ mlp_in,
+                )
+            )
+        x = x + mlp.run(layer, mlp_in)
+    final = rmsnorm(x, weights.final_norm, cfg.norm_eps)
+    return final @ weights.lm_head
 
 
 @dataclass
@@ -90,49 +172,14 @@ class InferenceModel:
     def clear_traces(self) -> None:
         self.traces = []
 
-    def _attention(self, layer: int, x: np.ndarray, position: int) -> np.ndarray:
-        cfg = self.config
-        lw = self.weights.layers[layer]
-        n_heads, head_dim = cfg.n_heads, cfg.head_dim
-        q = x @ lw.wq
-        k = x @ lw.wk
-        v = x @ lw.wv
-        cos, sin = rope_tables(np.array([position]), head_dim, cfg.rope_theta)
-        q = apply_rope(q.reshape(n_heads, 1, head_dim), cos, sin).reshape(n_heads, head_dim)
-        k = apply_rope(k.reshape(n_heads, 1, head_dim), cos, sin).reshape(-1)
-        self.cache.append(layer, k, v, position)
-        length = position + 1
-        keys, values = self.cache.view(layer, length)          # (len, d)
-        kh = keys.reshape(length, n_heads, head_dim).transpose(1, 0, 2)
-        vh = values.reshape(length, n_heads, head_dim).transpose(1, 0, 2)
-        scores = np.einsum("hd,htd->ht", q, kh) / np.sqrt(head_dim)
-        scores -= scores.max(axis=-1, keepdims=True)
-        probs = np.exp(scores)
-        probs /= probs.sum(axis=-1, keepdims=True)
-        ctx = np.einsum("ht,htd->hd", probs, vh).reshape(cfg.d_model)
-        return ctx @ lw.wo
-
     def forward_token(self, token_id: int, position: int) -> np.ndarray:
         """One decode step: returns the next-token logits ``(vocab,)``."""
-        cfg = self.config
-        x = self.weights.tok_embed[token_id].astype(np.float32).copy()
-        for layer in range(cfg.n_layers):
-            lw = self.weights.layers[layer]
-            attn_in = rmsnorm(x, lw.attn_norm, cfg.norm_eps)
-            x = x + self._attention(layer, attn_in, position)
-            mlp_in = rmsnorm(x, lw.mlp_norm, cfg.norm_eps)
-            if self.trace_mlp_inputs:
-                self.traces.append(
-                    MLPTrace(
-                        layer=layer,
-                        x=mlp_in.copy(),
-                        gate_preact=lw.w_gate_rows @ mlp_in,
-                    )
-                )
-            x = x + self._active_mlp.run(layer, mlp_in)
+        logits = forward_token_single(
+            self.weights, token_id, position, self.cache, self._active_mlp,
+            traces=self.traces if self.trace_mlp_inputs else None,
+        )
         self.cache.advance()
-        final = rmsnorm(x, self.weights.final_norm, cfg.norm_eps)
-        return final @ self.weights.lm_head
+        return logits
 
     def prefill(self, token_ids: Sequence[int]) -> np.ndarray:
         """Run the prompt through the model; returns last-position logits.

@@ -1,4 +1,12 @@
-"""Per-layer key/value cache for autoregressive decoding."""
+"""Per-layer key/value caches for autoregressive decoding.
+
+:class:`KVCache` backs single-sequence decoding.  :class:`BatchedKVCache`
+pre-allocates a fixed number of per-sequence *slots* for the serving
+engine: each admitted request owns one slot for its lifetime, and slots
+are recycled as requests finish (continuous batching).  A :class:`KVSlot`
+exposes the same ``append``/``view``/``advance`` interface as
+:class:`KVCache`, so attention code is agnostic to which one it runs on.
+"""
 
 from __future__ import annotations
 
@@ -44,3 +52,86 @@ class KVCache:
 
     def reset(self) -> None:
         self.length = 0
+
+
+class KVSlot:
+    """One sequence's K/V storage inside a :class:`BatchedKVCache`.
+
+    Presents the :class:`KVCache` interface over views into the pooled
+    arrays, so the single-token attention path runs unchanged whether it
+    decodes a standalone sequence or one slot of a serving batch.
+    """
+
+    def __init__(self, pool: "BatchedKVCache", index: int):
+        self._pool = pool
+        self.index = index
+        self.keys = pool.keys[index]      # (n_layers, max_seq, d_model) view
+        self.values = pool.values[index]
+        self.length = 0
+
+    @property
+    def max_seq_len(self) -> int:
+        return self._pool.max_seq_len
+
+    def append(self, layer: int, k: np.ndarray, v: np.ndarray,
+               position: int) -> None:
+        if position >= self.max_seq_len:
+            raise ValueError(
+                f"position {position} exceeds slot capacity {self.max_seq_len}"
+            )
+        self.keys[layer, position] = k
+        self.values[layer, position] = v
+
+    def view(self, layer: int, length: int) -> tuple[np.ndarray, np.ndarray]:
+        return self.keys[layer, :length], self.values[layer, :length]
+
+    def advance(self) -> None:
+        self.length += 1
+        if self.length > self.max_seq_len:
+            raise ValueError("KV slot overflow")
+
+    def reset(self) -> None:
+        self.length = 0
+
+
+class BatchedKVCache:
+    """Fixed pool of per-sequence KV slots for batched decoding.
+
+    Storage is ``(n_slots, n_layers, max_seq, d_model)``; one slot is one
+    sequence's cache.  ``allocate``/``release`` recycle slots as the
+    scheduler admits and retires requests.
+    """
+
+    def __init__(self, config: ModelConfig, n_slots: int,
+                 max_seq_len: int = 0):
+        if n_slots < 1:
+            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        self.config = config
+        self.n_slots = n_slots
+        self.max_seq_len = max_seq_len or config.max_seq_len
+        shape = (n_slots, config.n_layers, self.max_seq_len, config.d_model)
+        self.keys = np.zeros(shape, dtype=np.float32)
+        self.values = np.zeros(shape, dtype=np.float32)
+        self._slots = [KVSlot(self, i) for i in range(n_slots)]
+        self._free = list(range(n_slots - 1, -1, -1))   # pop() -> lowest index
+
+    @property
+    def n_free(self) -> int:
+        return len(self._free)
+
+    def allocate(self) -> KVSlot:
+        """Claim a free slot (reset to length 0)."""
+        if not self._free:
+            raise RuntimeError("no free KV slots")
+        slot = self._slots[self._free.pop()]
+        slot.reset()
+        return slot
+
+    def release(self, slot: KVSlot) -> None:
+        """Return a slot to the free pool."""
+        if slot._pool is not self:
+            raise ValueError("slot belongs to a different cache")
+        if slot.index in self._free:
+            raise ValueError(f"slot {slot.index} released twice")
+        slot.reset()
+        self._free.append(slot.index)

@@ -1,0 +1,48 @@
+"""Batched sparse-decode serving: queue, scheduler, and batched engine.
+
+The paper evaluates SparseInfer at decode batch 1, where every gate row a
+sequence predicts sparse saves its whole weight read.  A serving system
+decodes many sequences per step, and a row's weights can only go unread
+when **every** co-scheduled sequence predicts it sparse -- the exploitable
+skip set is the *intersection* across the batch, which for independent
+sequences decays roughly as ``skip^B`` (:mod:`repro.gpu.batching` models
+this decay analytically; :func:`repro.gpu.batching.batch_skip_fraction`
+is the curve the serving benchmark plots measured intersections against).
+
+What batching loses in sparsity it repays in weight-read amortisation:
+the rows that *are* computed are computed for the whole batch from a
+single weight read, so throughput still rises with batch size -- the
+classic serving-vs-edge trade-off (DejaVu targets the batched regime with
+trained predictors, PowerInfer the edge regime; SparseInfer's
+training-free predictor is cheap enough to run per step in either).
+
+Pieces:
+
+* :mod:`repro.serving.request`  -- :class:`Request` / :class:`Completion`.
+* :mod:`repro.serving.queue`    -- FIFO admission queue.
+* :mod:`repro.serving.batch_mlp` -- batch-aware sparse MLP executor: one
+  sign-pack + popcount pass predicts all sequences, rows outside the
+  intersection run as a batched GEMM, and per-sequence masks re-zero rows
+  a sequence predicted sparse so outputs match single-sequence decode.
+* :mod:`repro.serving.engine`   -- :class:`BatchedEngine` over per-request
+  KV slots (:class:`repro.model.kvcache.BatchedKVCache`).
+* :mod:`repro.serving.scheduler` -- continuous batching: admit from the
+  queue the moment a slot frees, retire finished sequences, never starve.
+"""
+
+from .batch_mlp import BatchedMLPStats, BatchedSparseInferMLP
+from .engine import BatchedEngine
+from .queue import RequestQueue
+from .request import Completion, Request
+from .scheduler import ContinuousBatchingScheduler, ServeReport
+
+__all__ = [
+    "BatchedEngine",
+    "BatchedMLPStats",
+    "BatchedSparseInferMLP",
+    "Completion",
+    "ContinuousBatchingScheduler",
+    "Request",
+    "RequestQueue",
+    "ServeReport",
+]

@@ -1,0 +1,177 @@
+"""The batched decode engine: per-slot prefill + batched sparse decode.
+
+Mirrors :class:`repro.model.inference.InferenceModel` over a pool of KV
+slots.  Prefill runs per sequence with the dense executor (sparsity is a
+decode-phase optimisation, paper Section V-C); decode steps run all
+active sequences at once -- batched RMSNorm/QKV/output projections and
+the batch-aware sparse MLP, with only the cached-attention inner step
+looping per sequence (each slot has its own length and positions).
+
+Every per-sequence op funnels through the same helpers as the
+single-sequence engine (:func:`repro.model.inference.attend_single`,
+:meth:`repro.core.sparse_mlp.SparseInferMLP.run_with_skip`), and this
+BLAS computes ``x @ W`` and ``(x[None] @ W)[0]`` identically, so a batch
+of one is bit-identical to :func:`repro.core.engine.build_engine` output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.engine import SparseInferSettings
+from ..core.predictor import SparseInferPredictor
+from ..model.inference import attend_single, forward_token_single
+from ..model.kvcache import BatchedKVCache, KVSlot
+from ..model.mlp import DenseMLP, MLPExecutor
+from ..model.norm import rmsnorm
+from ..model.rope import rope_tables
+from ..model.weights import ModelWeights
+from .batch_mlp import BatchedSparseInferMLP
+
+
+class BatchedEngine:
+    """Multi-sequence SparseInfer decoder over pooled KV slots.
+
+    Parameters
+    ----------
+    weights:
+        Model parameters in inference layout.
+    settings:
+        The same knobs as :func:`repro.core.engine.build_engine`; the
+        alpha schedule is applied through the shared predictor.
+    predictor:
+        Reuse an already-packed predictor (packing is the only expensive
+        offline step); otherwise packed from ``weights``.
+    max_batch_size:
+        Number of KV slots, i.e. the concurrent-sequence ceiling.
+    max_seq_len:
+        Per-slot capacity; defaults to the model's ``max_seq_len``.
+    """
+
+    def __init__(
+        self,
+        weights: ModelWeights,
+        settings: Optional[SparseInferSettings] = None,
+        predictor: Optional[SparseInferPredictor] = None,
+        max_batch_size: int = 8,
+        max_seq_len: int = 0,
+    ):
+        weights.validate()
+        self.weights = weights
+        self.config = weights.config
+        self.settings = settings or SparseInferSettings()
+        schedule = self.settings.schedule(self.config.n_layers)
+        if predictor is None:
+            predictor = SparseInferPredictor.from_gate_weights(
+                weights.gate_matrices(), schedule
+            )
+        else:
+            predictor = predictor.with_schedule(schedule)
+        self.sparse = BatchedSparseInferMLP(
+            weights=weights,
+            predictor=predictor,
+            use_actual_sparsity=self.settings.use_actual_sparsity,
+        )
+        self.prefill_mlp: MLPExecutor = (
+            self.sparse.single if self.settings.sparse_prefill
+            else DenseMLP(weights)
+        )
+        self.max_batch_size = max_batch_size
+        self.cache = BatchedKVCache(self.config, max_batch_size, max_seq_len)
+
+    # -- slot management ---------------------------------------------------
+
+    @property
+    def n_free_slots(self) -> int:
+        return self.cache.n_free
+
+    def allocate_slot(self) -> KVSlot:
+        return self.cache.allocate()
+
+    def release_slot(self, slot: KVSlot) -> None:
+        self.cache.release(slot)
+
+    # -- forward passes ----------------------------------------------------
+
+    def _forward_single(
+        self, token_id: int, slot: KVSlot, mlp: MLPExecutor
+    ) -> np.ndarray:
+        """One token through one sequence -- the InferenceModel op sequence."""
+        cfg = self.config
+        position = slot.length
+        rope = rope_tables(np.array([position]), cfg.head_dim, cfg.rope_theta)
+        logits = forward_token_single(
+            self.weights, token_id, position, slot, mlp, rope=rope,
+        )
+        slot.advance()
+        return logits
+
+    def prefill(self, slot: KVSlot, prompt_ids: Sequence[int]) -> np.ndarray:
+        """Run a prompt into a slot; returns last-position logits."""
+        if not prompt_ids:
+            raise ValueError("prefill needs at least one token")
+        logits = None
+        for tok in prompt_ids:
+            logits = self._forward_single(int(tok), slot, self.prefill_mlp)
+        return logits
+
+    def decode_step(
+        self, slots: Sequence[KVSlot], token_ids: Sequence[int]
+    ) -> np.ndarray:
+        """One batched decode step; returns ``(B, vocab)`` logits.
+
+        ``token_ids[i]`` is fed to ``slots[i]`` at its current length.
+        """
+        if len(slots) != len(token_ids):
+            raise ValueError("slots and token_ids must align")
+        if not slots:
+            raise ValueError("decode_step needs at least one sequence")
+        if len(slots) == 1:
+            logits = self._forward_single(
+                int(token_ids[0]), slots[0], self._decode_mlp_single
+            )
+            return logits[None, :]
+
+        cfg = self.config
+        positions = [slot.length for slot in slots]
+        ropes = [
+            rope_tables(np.array([p]), cfg.head_dim, cfg.rope_theta)
+            for p in positions
+        ]
+        x = self.weights.tok_embed[list(token_ids)].astype(np.float32)
+        for layer in range(cfg.n_layers):
+            lw = self.weights.layers[layer]
+            attn_in = rmsnorm(x, lw.attn_norm, cfg.norm_eps)
+            q = attn_in @ lw.wq
+            k = attn_in @ lw.wk
+            v = attn_in @ lw.wv
+            ctx = np.empty_like(x)
+            for i, slot in enumerate(slots):
+                ctx[i] = attend_single(
+                    cfg, q[i], k[i], v[i], positions[i], slot, layer,
+                    rope=ropes[i],
+                )
+            x = x + ctx @ lw.wo
+            mlp_in = rmsnorm(x, lw.mlp_norm, cfg.norm_eps)
+            x = x + self.sparse.run_batch(layer, mlp_in)
+        for slot in slots:
+            slot.advance()
+        final = rmsnorm(x, self.weights.final_norm, cfg.norm_eps)
+        return final @ self.weights.lm_head
+
+    @property
+    def _decode_mlp_single(self) -> MLPExecutor:
+        """Single-sequence view of the batched sparse executor."""
+        return _SingleView(self.sparse)
+
+
+class _SingleView:
+    """Adapts :class:`BatchedSparseInferMLP` to the 1-D executor protocol."""
+
+    def __init__(self, batched: BatchedSparseInferMLP):
+        self._batched = batched
+
+    def run(self, layer: int, x: np.ndarray) -> np.ndarray:
+        return self._batched.run_batch(layer, x[None, :])[0]

@@ -1,0 +1,35 @@
+"""FIFO admission queue for the serving scheduler.
+
+Admission order is strictly arrival order: the scheduler admits the head
+request whenever a KV slot is free, so a long-running batch can delay but
+never permanently starve a queued request (every retirement frees a slot
+and the head is admitted before the next decode step).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .request import Request
+
+
+class RequestQueue:
+    """Unbounded FIFO of pending :class:`Request` objects."""
+
+    def __init__(self):
+        self._pending = deque()
+
+    def submit(self, request: Request) -> None:
+        self._pending.append(request)
+
+    def pop(self) -> Request:
+        """Remove and return the oldest pending request."""
+        if not self._pending:
+            raise IndexError("pop from an empty request queue")
+        return self._pending.popleft()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)

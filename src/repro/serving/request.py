@@ -1,0 +1,77 @@
+"""Serving request/response records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Request:
+    """One generation request submitted to the serving queue.
+
+    Semantics match :meth:`repro.model.inference.InferenceModel.generate`:
+    greedy decoding of up to ``max_new_tokens`` tokens, stopping early if
+    the next token falls in ``stop_ids`` (the stop token is not emitted).
+    """
+
+    request_id: int
+    prompt_ids: tuple
+    max_new_tokens: int
+    stop_ids: Optional[frozenset] = None
+
+    def __post_init__(self):
+        if not self.prompt_ids:
+            raise ValueError("prompt_ids must be non-empty")
+        if self.max_new_tokens < 0:
+            raise ValueError("max_new_tokens must be non-negative")
+        object.__setattr__(self, "prompt_ids", tuple(int(t) for t in self.prompt_ids))
+        if self.stop_ids is not None:
+            object.__setattr__(self, "stop_ids", frozenset(int(t) for t in self.stop_ids))
+
+    @property
+    def prompt_len(self) -> int:
+        return len(self.prompt_ids)
+
+
+@dataclass
+class Completion:
+    """A finished request plus its scheduling telemetry.
+
+    Steps are scheduler ticks: ``admitted_step`` is the tick whose
+    admission phase prefetched the prompt, ``finished_step`` the tick that
+    emitted (or declined, on a stop token) the final token.  Their
+    difference is the queuing+decode latency in ticks.  ``decode_steps``
+    counts the model forwards the request participated in after its
+    prefill -- the admission tick's decode is included, so it is the
+    number directly comparable with a sequential engine's per-request
+    forward count.
+
+    ``error`` is set when the scheduler rejected the request instead of
+    decoding it (e.g. it could never fit a KV slot); rejected requests
+    complete with no generated tokens rather than crashing the batch
+    they would have joined.
+    """
+
+    request: Request
+    generated_ids: list = field(default_factory=list)
+    admitted_step: int = 0
+    finished_step: int = 0
+    decode_steps: int = 0      # batched forwards this request took part in
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def request_id(self) -> int:
+        return self.request.request_id
+
+    @property
+    def n_generated(self) -> int:
+        return len(self.generated_ids)
+
+    @property
+    def latency_steps(self) -> int:
+        return self.finished_step - self.admitted_step

@@ -1,0 +1,233 @@
+"""Continuous-batching scheduler over the batched decode engine.
+
+Each scheduler tick:
+
+1. retire sequences that finished last tick, freeing their KV slots;
+2. admit queued requests (FIFO) into free slots -- admission prefills the
+   prompt and samples the first token, exactly like the single-sequence
+   ``generate`` loop samples from the prefill logits;
+3. run one batched decode step over all active sequences and sample each
+   sequence's next token.
+
+Sequences join and leave the batch at step granularity (continuous
+batching): a finishing request never blocks on its batch-mates and a
+pending request waits only until the next free slot.  FIFO admission
+makes starvation impossible -- every retirement frees a slot and the
+queue head is always admitted first.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .engine import BatchedEngine
+from .queue import RequestQueue
+from .request import Completion, Request
+
+
+@dataclass
+class _ActiveSequence:
+    """Scheduler-side state of one admitted, unfinished request."""
+
+    request: Request
+    slot: object                       # KVSlot
+    generated_ids: list
+    admitted_step: int
+    decode_steps: int = 0
+
+    @property
+    def last_token(self) -> int:
+        return self.generated_ids[-1]
+
+    def wants_more(self) -> bool:
+        return len(self.generated_ids) < self.request.max_new_tokens
+
+
+@dataclass
+class ServeReport:
+    """Outcome and telemetry of draining a workload."""
+
+    completions: List[Completion] = field(default_factory=list)
+    decode_steps: int = 0
+    tokens_generated: int = 0
+    prefill_tokens: int = 0
+    prefill_seconds: float = 0.0
+    decode_seconds: float = 0.0
+    occupancy_sum: int = 0             # sum of batch sizes over decode steps
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.prefill_seconds + self.decode_seconds
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        return self.occupancy_sum / self.decode_steps if self.decode_steps else 0.0
+
+    @property
+    def decode_tokens_per_second(self) -> float:
+        return self.tokens_generated / self.decode_seconds if self.decode_seconds else 0.0
+
+    @property
+    def tokens_per_second(self) -> float:
+        """End-to-end throughput including prefill time."""
+        return self.tokens_generated / self.wall_seconds if self.wall_seconds else 0.0
+
+
+class ContinuousBatchingScheduler:
+    """Drains a request queue through a :class:`BatchedEngine`."""
+
+    def __init__(
+        self,
+        engine: BatchedEngine,
+        queue: Optional[RequestQueue] = None,
+        max_batch_size: Optional[int] = None,
+    ):
+        self.engine = engine
+        self.queue = queue if queue is not None else RequestQueue()
+        self.max_batch_size = min(
+            max_batch_size or engine.max_batch_size, engine.max_batch_size
+        )
+        self.active: List[_ActiveSequence] = []
+        self.step_count = 0
+        self.report = ServeReport()
+
+    def _capacity_error(self, request: Request) -> Optional[str]:
+        """Why ``request`` can never fit a KV slot, or None if it fits.
+
+        A sequence feeds ``prompt_len + max_new_tokens - 1`` tokens into
+        its slot (the final sampled token is never fed back).
+        """
+        needed = request.prompt_len + max(0, request.max_new_tokens - 1)
+        capacity = self.engine.cache.max_seq_len
+        if needed <= capacity:
+            return None
+        return (
+            f"request {request.request_id} needs up to {needed} KV "
+            f"positions but slots hold {capacity}; shorten the prompt "
+            f"or max_new_tokens, or raise the engine's max_seq_len"
+        )
+
+    def submit(self, request: Request) -> None:
+        """Queue a request, rejecting oversized ones up front.
+
+        Admission re-checks capacity (the queue is injectable), but
+        failing fast here gives the caller the error as an exception
+        instead of an errored :class:`Completion`.
+        """
+        reason = self._capacity_error(request)
+        if reason is not None:
+            raise ValueError(reason)
+        self.queue.submit(request)
+
+    @property
+    def n_pending(self) -> int:
+        return len(self.queue)
+
+    @property
+    def idle(self) -> bool:
+        return not self.active and not self.queue
+
+    # -- one tick ----------------------------------------------------------
+
+    def _greedy(self, logits: np.ndarray) -> int:
+        return int(np.argmax(logits))
+
+    def _complete(self, seq: _ActiveSequence) -> Completion:
+        self.engine.release_slot(seq.slot)
+        completion = Completion(
+            request=seq.request,
+            generated_ids=list(seq.generated_ids),
+            admitted_step=seq.admitted_step,
+            finished_step=self.step_count,
+            decode_steps=seq.decode_steps,
+        )
+        self.report.completions.append(completion)
+        return completion
+
+    def _admit(self, finished: List[Completion]) -> None:
+        while self.queue and len(self.active) < self.max_batch_size \
+                and self.engine.n_free_slots:
+            request = self.queue.pop()
+            reason = self._capacity_error(request)
+            if reason is not None:
+                # Queued without going through submit(); reject instead
+                # of letting KVSlot.append blow up the whole batch.
+                completion = Completion(
+                    request=request, generated_ids=[],
+                    admitted_step=self.step_count,
+                    finished_step=self.step_count, error=reason,
+                )
+                self.report.completions.append(completion)
+                finished.append(completion)
+                continue
+            slot = self.engine.allocate_slot()
+            seq = _ActiveSequence(
+                request=request, slot=slot, generated_ids=[],
+                admitted_step=self.step_count,
+            )
+            t0 = time.perf_counter()
+            logits = self.engine.prefill(slot, request.prompt_ids)
+            self.report.prefill_seconds += time.perf_counter() - t0
+            self.report.prefill_tokens += request.prompt_len
+            if request.max_new_tokens == 0:
+                finished.append(self._complete(seq))
+                continue
+            first = self._greedy(logits)
+            if request.stop_ids and first in request.stop_ids:
+                finished.append(self._complete(seq))
+                continue
+            seq.generated_ids.append(first)
+            self.report.tokens_generated += 1
+            if seq.wants_more():
+                self.active.append(seq)
+            else:
+                finished.append(self._complete(seq))
+
+    def step(self) -> List[Completion]:
+        """One scheduler tick; returns the requests that finished in it."""
+        self.step_count += 1
+        finished: List[Completion] = []
+        self._admit(finished)
+        if not self.active:
+            return finished
+
+        slots = [seq.slot for seq in self.active]
+        tokens = [seq.last_token for seq in self.active]
+        t0 = time.perf_counter()
+        logits = self.engine.decode_step(slots, tokens)
+        self.report.decode_seconds += time.perf_counter() - t0
+        self.report.decode_steps += 1
+        self.report.occupancy_sum += len(self.active)
+
+        still_active: List[_ActiveSequence] = []
+        for i, seq in enumerate(self.active):
+            seq.decode_steps += 1
+            nxt = self._greedy(logits[i])
+            stop = seq.request.stop_ids
+            if stop and nxt in stop:
+                finished.append(self._complete(seq))
+                continue
+            seq.generated_ids.append(nxt)
+            self.report.tokens_generated += 1
+            if seq.wants_more():
+                still_active.append(seq)
+            else:
+                finished.append(self._complete(seq))
+        self.active = still_active
+        return finished
+
+    def run(self, max_steps: int = 1_000_000) -> ServeReport:
+        """Tick until the queue and the batch are both empty."""
+        steps = 0
+        while not self.idle:
+            self.step()
+            steps += 1
+            if steps >= max_steps and not self.idle:
+                raise RuntimeError(
+                    f"scheduler did not drain within {max_steps} steps"
+                )
+        return self.report

@@ -14,7 +14,7 @@ from repro.autograd.functional import (
 )
 from repro.autograd.tensor import Tensor
 
-from .test_autograd_tensor import check_gradient
+from helpers import check_gradient
 
 
 class TestEmbedding:

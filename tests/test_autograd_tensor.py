@@ -3,38 +3,8 @@
 import numpy as np
 import pytest
 
+from helpers import check_gradient
 from repro.autograd.tensor import Tensor, parameter, unbroadcast, zeros
-
-
-def numeric_grad(fn, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
-    """Central-difference gradient of a scalar-valued fn."""
-    grad = np.zeros_like(x, dtype=np.float64)
-    it = np.nditer(x, flags=["multi_index"])
-    while not it.finished:
-        idx = it.multi_index
-        orig = x[idx]
-        x[idx] = orig + eps
-        hi = fn(x)
-        x[idx] = orig - eps
-        lo = fn(x)
-        x[idx] = orig
-        grad[idx] = (hi - lo) / (2 * eps)
-        it.iternext()
-    return grad
-
-
-def check_gradient(make_output, x0: np.ndarray, atol: float = 2e-2):
-    """Compare autograd gradient to central differences."""
-    t = Tensor(x0.copy(), requires_grad=True)
-    out = make_output(t)
-    out.backward()
-    auto = t.grad.astype(np.float64)
-
-    def scalar_fn(arr):
-        return float(make_output(Tensor(arr.copy())).data)
-
-    num = numeric_grad(scalar_fn, x0.copy().astype(np.float64))
-    np.testing.assert_allclose(auto, num, atol=atol, rtol=1e-2)
 
 
 @pytest.fixture

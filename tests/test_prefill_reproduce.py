@@ -48,6 +48,7 @@ class TestPrefillModel:
             prefill_gemm("g", 8, 8, 0)
 
 
+@pytest.mark.slow
 class TestReproduceDriver:
     def test_analytical_run_writes_artifacts(self, tmp_path, capsys):
         from repro.reproduce import run_analytical

@@ -1,0 +1,318 @@
+"""Tests for the batched sparse-decode serving subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    SparseInferSettings,
+    build_batched_engine,
+    build_engine,
+)
+from repro.core.predictor import SparseInferPredictor
+from repro.core.signpack import pack_signs, xor_popcount
+from repro.eval.latency import (
+    measure_batched_serving,
+    measure_sequential_serving,
+)
+from repro.eval.reporting import format_serving_sweep
+from repro.model.kvcache import BatchedKVCache
+from repro.serving import (
+    BatchedEngine,
+    ContinuousBatchingScheduler,
+    Request,
+    RequestQueue,
+)
+
+PROMPTS = [[1, 4, 2], [3, 5], [6, 7, 8, 9], [2, 2, 1], [10, 3], [4, 4, 4]]
+
+
+def make_requests(max_new_tokens=6, prompts=PROMPTS):
+    return [
+        Request(request_id=i, prompt_ids=tuple(p), max_new_tokens=max_new_tokens)
+        for i, p in enumerate(prompts)
+    ]
+
+
+def reference_generations(weights, prompts, n_tokens, settings=None):
+    engine = build_engine(weights, settings)
+    return [
+        engine.generate(p, max_new_tokens=n_tokens).generated_ids
+        for p in prompts
+    ]
+
+
+class TestBatchPrediction:
+    def test_intersection_is_per_sequence_and(self, micro_weights, rng):
+        predictor = SparseInferPredictor.from_gate_weights(
+            micro_weights.gate_matrices()
+        )
+        xs = rng.standard_normal((5, micro_weights.config.d_model)).astype(
+            np.float32
+        )
+        pred = predictor.predict_intersection(0, xs)
+        per_seq = np.stack(
+            [predictor.predict(0, xs[i]).skip for i in range(5)]
+        )
+        np.testing.assert_array_equal(pred.skip, per_seq)
+        np.testing.assert_array_equal(
+            pred.intersection_skip, np.logical_and.reduce(per_seq, axis=0)
+        )
+
+    def test_batched_xor_popcount_matches_loop(self, rng):
+        rows = rng.standard_normal((17, 70)).astype(np.float32)
+        xs = rng.standard_normal((4, 70)).astype(np.float32)
+        packed_rows = pack_signs(rows)
+        packed_xs = pack_signs(xs)
+        batched = xor_popcount(packed_rows, packed_xs)
+        assert batched.shape == (4, 17)
+        for i in range(4):
+            np.testing.assert_array_equal(
+                batched[i], xor_popcount(packed_rows, packed_xs[i])
+            )
+
+    def test_batch_of_one_matches_single(self, micro_weights, rng):
+        predictor = SparseInferPredictor.from_gate_weights(
+            micro_weights.gate_matrices()
+        )
+        x = rng.standard_normal(micro_weights.config.d_model).astype(np.float32)
+        single = predictor.predict(1, x)
+        batched = predictor.predict_intersection(1, x[None, :])
+        np.testing.assert_array_equal(batched.skip[0], single.skip)
+        np.testing.assert_array_equal(batched.n_neg[0], single.n_neg)
+        np.testing.assert_array_equal(batched.intersection_skip, single.skip)
+
+
+class TestBatchedKVCache:
+    def test_slots_are_recycled(self, micro_config):
+        cache = BatchedKVCache(micro_config, n_slots=2, max_seq_len=8)
+        a = cache.allocate()
+        b = cache.allocate()
+        assert cache.n_free == 0
+        with pytest.raises(RuntimeError):
+            cache.allocate()
+        a.append(0, np.ones(micro_config.d_model),
+                 np.ones(micro_config.d_model), 0)
+        a.advance()
+        assert a.length == 1
+        cache.release(a)
+        assert cache.n_free == 1
+        c = cache.allocate()
+        assert c.length == 0           # reset on reuse
+        with pytest.raises(ValueError):
+            cache.release(b) or cache.release(b)
+
+    def test_slot_views_are_independent(self, micro_config):
+        cache = BatchedKVCache(micro_config, n_slots=2, max_seq_len=4)
+        a, b = cache.allocate(), cache.allocate()
+        a.append(0, np.full(micro_config.d_model, 2.0),
+                 np.full(micro_config.d_model, 3.0), 0)
+        keys_b, _ = b.view(0, 1)
+        assert not keys_b.any()
+        keys_a, values_a = a.view(0, 1)
+        assert (keys_a == 2.0).all() and (values_a == 3.0).all()
+
+
+class TestBatchedEngineEquivalence:
+    def test_batch1_bit_identical_logits(self, micro_weights):
+        sequential = build_engine(micro_weights)
+        sequential.reset()
+        ref_logits = sequential.prefill(PROMPTS[0])
+
+        engine = build_batched_engine(micro_weights, max_batch_size=1)
+        slot = engine.allocate_slot()
+        logits = engine.prefill(slot, PROMPTS[0])
+        np.testing.assert_array_equal(logits, ref_logits)
+
+        token = int(np.argmax(ref_logits))
+        step = engine.decode_step([slot], [token])
+        ref_step = sequential.forward_token(token, sequential.cache.length)
+        np.testing.assert_array_equal(step[0], ref_step)
+
+    def test_batch1_serving_token_identical(self, micro_weights):
+        ref = reference_generations(micro_weights, PROMPTS, 6)
+        engine = build_batched_engine(micro_weights, max_batch_size=1)
+        scheduler = ContinuousBatchingScheduler(engine)
+        for request in make_requests():
+            scheduler.submit(request)
+        report = scheduler.run()
+        got = {c.request_id: c.generated_ids for c in report.completions}
+        assert got == {i: ref[i] for i in range(len(PROMPTS))}
+
+    @pytest.mark.parametrize("batch_size", [2, 3, 4])
+    def test_batched_serving_token_identical(self, micro_weights, batch_size):
+        ref = reference_generations(micro_weights, PROMPTS, 6)
+        engine = build_batched_engine(
+            micro_weights, max_batch_size=batch_size
+        )
+        scheduler = ContinuousBatchingScheduler(engine)
+        for request in make_requests():
+            scheduler.submit(request)
+        report = scheduler.run()
+        got = {c.request_id: c.generated_ids for c in report.completions}
+        assert got == {i: ref[i] for i in range(len(PROMPTS))}
+
+    def test_settings_flow_through(self, micro_weights):
+        settings = SparseInferSettings(alpha=1.02, alpha_early=1.03,
+                                       n_early_layers=1)
+        ref = reference_generations(micro_weights, PROMPTS[:3], 5, settings)
+        engine = build_batched_engine(
+            micro_weights, settings, max_batch_size=2
+        )
+        scheduler = ContinuousBatchingScheduler(engine)
+        for request in make_requests(5, PROMPTS[:3]):
+            scheduler.submit(request)
+        got = {c.request_id: c.generated_ids
+               for c in scheduler.run().completions}
+        assert got == {i: ref[i] for i in range(3)}
+
+    def test_gather_and_dense_paths_agree(self, micro_weights, rng):
+        """The dense fallback is an execution detail, not a semantics change."""
+        engine_a = BatchedEngine(micro_weights, max_batch_size=4)
+        engine_b = BatchedEngine(micro_weights, max_batch_size=4)
+        engine_a.sparse.gather_threshold = 0.0   # always gather... (never dense)
+        engine_b.sparse.gather_threshold = 1.1   # always dense fallback
+        xs = rng.standard_normal((4, micro_weights.config.d_model)).astype(
+            np.float32
+        )
+        out_a = engine_a.sparse.run_batch(0, xs)
+        out_b = engine_b.sparse.run_batch(0, xs)
+        np.testing.assert_allclose(out_a, out_b, atol=1e-5)
+
+
+class TestScheduler:
+    def test_drains_mixed_length_queue_without_starvation(self, micro_weights):
+        prompts = PROMPTS * 2                          # 12 requests, 2 slots
+        lengths = [2 + (i % 5) for i in range(len(prompts))]
+        requests = [
+            Request(request_id=i, prompt_ids=tuple(p), max_new_tokens=n)
+            for i, (p, n) in enumerate(zip(prompts, lengths))
+        ]
+        engine = build_batched_engine(micro_weights, max_batch_size=2)
+        scheduler = ContinuousBatchingScheduler(engine)
+        for request in requests:
+            scheduler.submit(request)
+        report = scheduler.run()
+        assert scheduler.idle
+        assert len(report.completions) == len(requests)
+        by_id = {c.request_id: c for c in report.completions}
+        for i, n in enumerate(lengths):
+            assert by_id[i].n_generated == n
+        # FIFO admission: request i never admitted after request j > i.
+        admitted = [by_id[i].admitted_step for i in range(len(requests))]
+        assert admitted == sorted(admitted)
+        # All slots returned to the pool.
+        assert engine.n_free_slots == engine.max_batch_size
+
+    def test_requests_join_leaving_batch_mid_flight(self, micro_weights):
+        requests = [
+            Request(request_id=0, prompt_ids=(1, 2), max_new_tokens=10),
+            Request(request_id=1, prompt_ids=(3, 4), max_new_tokens=2),
+            Request(request_id=2, prompt_ids=(5, 6), max_new_tokens=2),
+        ]
+        engine = build_batched_engine(micro_weights, max_batch_size=2)
+        scheduler = ContinuousBatchingScheduler(engine)
+        for request in requests:
+            scheduler.submit(request)
+        report = scheduler.run()
+        by_id = {c.request_id: c for c in report.completions}
+        # Request 2 was admitted as soon as request 1 retired, while
+        # request 0 was still decoding (continuous batching).
+        assert by_id[2].admitted_step <= by_id[0].finished_step
+        assert by_id[2].admitted_step > by_id[1].admitted_step
+
+    def test_stop_ids_and_zero_budget(self, micro_weights):
+        engine = build_batched_engine(micro_weights, max_batch_size=2)
+        scheduler = ContinuousBatchingScheduler(engine)
+        ref = build_engine(micro_weights)
+        first = ref.generate([1, 2], 1).generated_ids[0]
+        scheduler.submit(Request(request_id=0, prompt_ids=(1, 2),
+                                 max_new_tokens=0))
+        scheduler.submit(Request(request_id=1, prompt_ids=(1, 2),
+                                 max_new_tokens=5,
+                                 stop_ids=frozenset({first})))
+        report = scheduler.run()
+        by_id = {c.request_id: c for c in report.completions}
+        assert by_id[0].generated_ids == []
+        assert by_id[1].generated_ids == []     # first token hits stop set
+
+    def test_oversized_request_rejected_at_submit(self, micro_weights):
+        """A request that can never fit a slot must not crash a batch."""
+        engine = build_batched_engine(
+            micro_weights, max_batch_size=2, max_seq_len=8
+        )
+        scheduler = ContinuousBatchingScheduler(engine)
+        with pytest.raises(ValueError, match="KV positions"):
+            scheduler.submit(
+                Request(request_id=0, prompt_ids=(1, 2, 3),
+                        max_new_tokens=20)
+            )
+        # The largest request that does fit drains cleanly: it feeds
+        # prompt (3) + max_new_tokens - 1 (5) = 8 positions.
+        scheduler.submit(
+            Request(request_id=1, prompt_ids=(1, 2, 3), max_new_tokens=6)
+        )
+        report = scheduler.run()
+        assert report.completions[0].n_generated == 6
+        assert report.completions[0].ok
+
+    def test_oversized_request_via_raw_queue_is_rejected_not_fatal(
+        self, micro_weights
+    ):
+        """Admission re-checks capacity when the queue bypasses submit()."""
+        queue = RequestQueue()
+        queue.submit(Request(request_id=0, prompt_ids=(1, 2, 3),
+                             max_new_tokens=50))
+        queue.submit(Request(request_id=1, prompt_ids=(4, 5),
+                             max_new_tokens=3))
+        engine = build_batched_engine(
+            micro_weights, max_batch_size=2, max_seq_len=8
+        )
+        scheduler = ContinuousBatchingScheduler(engine, queue=queue)
+        report = scheduler.run()
+        by_id = {c.request_id: c for c in report.completions}
+        assert not by_id[0].ok and "KV positions" in by_id[0].error
+        assert by_id[0].generated_ids == []
+        assert by_id[1].ok and by_id[1].n_generated == 3
+        assert engine.n_free_slots == engine.max_batch_size
+
+    def test_run_succeeds_when_draining_on_the_last_allowed_step(
+        self, micro_weights
+    ):
+        engine = build_batched_engine(micro_weights, max_batch_size=1)
+        scheduler = ContinuousBatchingScheduler(engine)
+        scheduler.submit(Request(request_id=0, prompt_ids=(1, 2),
+                                 max_new_tokens=4))
+        # Four tokens need exactly 3 ticks: the admission tick yields two
+        # (one sampled from prefill logits, one decoded), then one per tick.
+        report = scheduler.run(max_steps=3)
+        assert report.completions[0].n_generated == 4
+        scheduler2 = ContinuousBatchingScheduler(
+            build_batched_engine(micro_weights, max_batch_size=1)
+        )
+        scheduler2.submit(Request(request_id=0, prompt_ids=(1, 2),
+                                  max_new_tokens=5))
+        with pytest.raises(RuntimeError, match="did not drain"):
+            scheduler2.run(max_steps=3)
+
+    def test_queue_is_fifo(self):
+        queue = RequestQueue()
+        for request in make_requests():
+            queue.submit(request)
+        assert len(queue) == len(PROMPTS)
+        assert [queue.pop().request_id for _ in range(len(PROMPTS))] == \
+            list(range(len(PROMPTS)))
+        with pytest.raises(IndexError):
+            queue.pop()
+
+
+class TestServingMetrics:
+    def test_measurements_and_sweep_table(self, micro_weights):
+        requests = make_requests(4)
+        baseline = measure_sequential_serving(micro_weights, requests)
+        point = measure_batched_serving(micro_weights, requests, 3)
+        assert baseline.tokens_generated == point.tokens_generated
+        assert point.mean_batch_occupancy > 1.0
+        assert point.intersection_skip <= point.sequence_skip + 1e-9
+        table = format_serving_sweep(baseline, [point], [0.5])
+        assert "speedup" in table and "sequential" in table
+        assert "50.0%" in table
