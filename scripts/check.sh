@@ -4,6 +4,21 @@
 #   scripts/check.sh                 # fast tier-1 suite
 #   scripts/check.sh -m slow         # long-running tests only
 #   scripts/check.sh -m ""           # everything
+#   CHECK_SLOW=1 scripts/check.sh    # tier-1 + slow benchmark smokes
 set -eu
 cd "$(dirname "$0")/.."
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q "$@"
+# Serving + paged-KV suites run explicitly on the default (tier-1)
+# invocation: collection filters or testpath drift must never silently
+# drop the serving layer's coverage.  Skipped when the caller passed
+# their own pytest args (-m slow etc.) to keep those selections exact.
+if [ "$#" -eq 0 ]; then
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q \
+        tests/test_serving.py tests/test_paged_kv.py
+fi
+# Slow smoke of the paged-KV benchmark (equal-budget >= 2x concurrency
+# and batch=1 bit-identity); opt in because it decodes a real workload.
+if [ "${CHECK_SLOW:-0}" = "1" ]; then
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q \
+        -m slow -p no:cacheprovider benchmarks/bench_paged_kv.py
+fi

@@ -95,10 +95,16 @@ def build_batched_engine(
     predictor: Optional[SparseInferPredictor] = None,
     max_batch_size: int = 8,
     max_seq_len: int = 0,
+    paged: bool = False,
+    page_size: int = 16,
+    n_pages: int = 0,
 ):
     """A serving-grade batched SparseInfer engine.
 
-    Same knobs as :func:`build_engine` plus the slot pool size.  Returns a
+    Same knobs as :func:`build_engine` plus the slot pool size and the
+    paged-KV geometry (``paged=True`` backs the slots with a shared
+    page arena -- see :mod:`repro.model.paged_kvcache`; ``n_pages``
+    caps the total KV memory budget).  Returns a
     :class:`repro.serving.engine.BatchedEngine`: per-sequence KV slots,
     dense per-sequence prefill, batched sparse decode exploiting the
     cross-sequence intersection of predicted skip sets (imported lazily --
@@ -112,4 +118,7 @@ def build_batched_engine(
         predictor=predictor,
         max_batch_size=max_batch_size,
         max_seq_len=max_seq_len,
+        paged=paged,
+        page_size=page_size,
+        n_pages=n_pages,
     )

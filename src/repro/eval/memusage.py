@@ -1,12 +1,23 @@
-"""Predictor memory-usage comparison (paper Section V-A.2)."""
+"""Memory-usage comparisons: predictor footprints and KV-cache paging.
+
+Two accountings live here:
+
+* the paper's Section V-A.2 predictor comparison (PowerInfer's trained
+  DejaVu predictors vs SparseInfer's packed sign bits);
+* the serving engine's KV-cache footprint -- fixed per-slot arrays vs
+  the page-granular pool of :mod:`repro.model.paged_kvcache` -- for a
+  given request-length distribution.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..gpu.memory import (
     MIB,
     dejavu_predictor_bytes,
+    kv_cache_bytes,
     sparseinfer_predictor_bytes,
 )
 from ..model.config import ModelConfig
@@ -49,4 +60,108 @@ def format_comparison(cmp: PredictorMemoryComparison) -> str:
         f"{cmp.model_name}: PowerInfer predictor {cmp.powerinfer_mib:.1f} MiB, "
         f"SparseInfer {cmp.sparseinfer_mib:.1f} MiB "
         f"({cmp.reduction_factor:.2f}x less)"
+    )
+
+
+# -- KV-cache footprint: fixed slots vs paged pool -------------------------
+
+
+def fixed_slot_kv_bytes(config: ModelConfig, n_slots: int,
+                        max_seq_len: int = 0) -> float:
+    """Resident KV bytes of a fixed :class:`BatchedKVCache` pool.
+
+    Every slot holds the full ``max_seq_len`` regardless of what its
+    request uses, so the footprint scales with the worst case.
+    """
+    if n_slots < 1:
+        raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+    seq = max_seq_len or config.max_seq_len
+    return n_slots * kv_cache_bytes(config, seq)
+
+
+def paged_kv_bytes(config: ModelConfig, n_pages: int,
+                   page_size: int = 16) -> float:
+    """Resident KV bytes of a :class:`PagePool` arena of ``n_pages``."""
+    if n_pages < 0:
+        raise ValueError(f"n_pages must be >= 0, got {n_pages}")
+    return n_pages * kv_cache_bytes(config, page_size)
+
+
+def pages_for_lengths(lengths: Sequence[int], page_size: int = 16) -> int:
+    """Total pages needed to hold one sequence per entry of ``lengths``."""
+    if page_size < 1:
+        raise ValueError(f"page_size must be >= 1, got {page_size}")
+    return sum(-(-int(n) // page_size) for n in lengths)
+
+
+@dataclass(frozen=True)
+class KVFootprintComparison:
+    """Fixed-slot vs paged KV bytes to co-hold one set of requests.
+
+    ``lengths`` are per-request KV positions (worst case:
+    ``prompt_len + max_new_tokens - 1``).  The fixed pool needs one
+    ``max_seq_len`` slot per request; the paged pool needs
+    ``ceil(length / page_size)`` pages per request.  Internal page
+    fragmentation (the unused tail of each request's last page) is the
+    only waste paging keeps, which bounds it at ``page_size - 1``
+    positions per sequence.
+    """
+
+    model_name: str
+    max_seq_len: int
+    page_size: int
+    n_requests: int
+    n_pages: int
+    fixed_bytes: float
+    paged_bytes: float
+
+    @property
+    def fixed_mib(self) -> float:
+        return self.fixed_bytes / MIB
+
+    @property
+    def paged_mib(self) -> float:
+        return self.paged_bytes / MIB
+
+    @property
+    def reduction_factor(self) -> float:
+        return self.fixed_bytes / self.paged_bytes if self.paged_bytes else float("inf")
+
+
+def compare_kv_footprint(
+    config: ModelConfig,
+    lengths: Sequence[int],
+    max_seq_len: int = 0,
+    page_size: int = 16,
+) -> KVFootprintComparison:
+    """KV bytes to co-schedule ``lengths`` fixed-slot vs paged."""
+    seq = max_seq_len or config.max_seq_len
+    # len(), not truthiness: a numpy array of lengths raises on bool().
+    if len(lengths) == 0:
+        raise ValueError("lengths must be non-empty")
+    for n in lengths:
+        if n > seq:
+            raise ValueError(
+                f"request length {n} exceeds max_seq_len {seq}"
+            )
+    n_pages = pages_for_lengths(lengths, page_size)
+    return KVFootprintComparison(
+        model_name=config.name,
+        max_seq_len=seq,
+        page_size=page_size,
+        n_requests=len(lengths),
+        n_pages=n_pages,
+        fixed_bytes=fixed_slot_kv_bytes(config, len(lengths), seq),
+        paged_bytes=paged_kv_bytes(config, n_pages, page_size),
+    )
+
+
+def format_kv_footprint(cmp: KVFootprintComparison) -> str:
+    return (
+        f"{cmp.model_name}: {cmp.n_requests} requests co-resident -- "
+        f"fixed slots {cmp.fixed_mib:.2f} MiB "
+        f"({cmp.n_requests} x {cmp.max_seq_len} positions), "
+        f"paged {cmp.paged_mib:.2f} MiB "
+        f"({cmp.n_pages} pages of {cmp.page_size}) "
+        f"= {cmp.reduction_factor:.2f}x less"
     )

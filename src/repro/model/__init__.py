@@ -8,7 +8,9 @@ from .config import (
     tiny_13b_role,
 )
 from .inference import InferenceModel, MLPTrace
+from .kvcache import BatchedKVCache, KVCache
 from .mlp import DenseMLP, MLPStats
+from .paged_kvcache import PagedKVCache, PagedKVSlot, PagePool
 from .synthetic import SyntheticActivationModel
 from .tokenizer import CharTokenizer
 from .weights import LayerWeights, ModelWeights, random_weights

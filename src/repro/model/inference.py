@@ -189,7 +189,9 @@ class InferenceModel:
         dense executor -- :func:`repro.core.engine.build_engine` arranges
         this automatically.
         """
-        if not token_ids:
+        # len(), not truthiness: a numpy-array prompt satisfies the
+        # Sequence[int] annotation but raises on bool().
+        if len(token_ids) == 0:
             raise ValueError("prefill needs at least one token")
         self._active_mlp = self.prefill_mlp
         try:

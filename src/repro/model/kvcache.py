@@ -6,6 +6,8 @@ engine: each admitted request owns one slot for its lifetime, and slots
 are recycled as requests finish (continuous batching).  A :class:`KVSlot`
 exposes the same ``append``/``view``/``advance`` interface as
 :class:`KVCache`, so attention code is agnostic to which one it runs on.
+:mod:`repro.model.paged_kvcache` provides a page-granular drop-in for
+:class:`BatchedKVCache` when slots must share a memory budget.
 """
 
 from __future__ import annotations
@@ -114,24 +116,53 @@ class BatchedKVCache:
         self.values = np.zeros(shape, dtype=np.float32)
         self._slots = [KVSlot(self, i) for i in range(n_slots)]
         self._free = list(range(n_slots - 1, -1, -1))   # pop() -> lowest index
+        self._free_set = set(range(n_slots))            # O(1) membership
 
     @property
     def n_free(self) -> int:
         return len(self._free)
 
-    def allocate(self) -> KVSlot:
-        """Claim a free slot (reset to length 0)."""
+    @property
+    def max_request_positions(self) -> int:
+        """Longest sequence any single request could ever store."""
+        return self.max_seq_len
+
+    @property
+    def kv_bytes(self) -> int:
+        """Resident bytes of both arrays (the fixed engine's KV footprint)."""
+        return self.keys.nbytes + self.values.nbytes
+
+    def can_admit(self, n_positions: int) -> bool:
+        """Whether a worst-case ``n_positions`` request fits right now.
+
+        Fixed slots hold ``max_seq_len`` positions regardless of the
+        request, so a free slot is the only requirement (size limits are
+        the caller's capacity check).
+        """
+        return bool(self._free)
+
+    def allocate(self, max_positions: int = 0) -> KVSlot:
+        """Claim a free slot (reset to length 0).
+
+        ``max_positions`` is accepted for interface parity with
+        :class:`~repro.model.paged_kvcache.PagedKVCache`; a fixed slot
+        always holds the full ``max_seq_len``, so there is nothing to
+        reserve.
+        """
         if not self._free:
             raise RuntimeError("no free KV slots")
-        slot = self._slots[self._free.pop()]
+        index = self._free.pop()
+        self._free_set.discard(index)
+        slot = self._slots[index]
         slot.reset()
         return slot
 
     def release(self, slot: KVSlot) -> None:
-        """Return a slot to the free pool."""
+        """Return a slot to the free pool (O(1) double-release check)."""
         if slot._pool is not self:
             raise ValueError("slot belongs to a different cache")
-        if slot.index in self._free:
+        if slot.index in self._free_set:
             raise ValueError(f"slot {slot.index} released twice")
         slot.reset()
         self._free.append(slot.index)
+        self._free_set.add(slot.index)

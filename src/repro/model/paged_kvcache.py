@@ -1,0 +1,347 @@
+"""Page-granular KV cache for the serving engine (vLLM-style paging).
+
+The fixed :class:`~repro.model.kvcache.BatchedKVCache` pre-allocates a
+full ``max_seq_len x n_layers x d_model`` array per slot, so a 10-token
+request holds the same memory as the longest request the engine accepts
+and the concurrent-sequence ceiling is ``budget / worst_case``.  This
+module replaces that with a shared page arena:
+
+* :class:`PagePool` owns the storage -- two ``(n_pages, n_layers,
+  page_size, d_model)`` arenas (keys and values) plus a free-page stack.
+  A *page* is ``page_size`` consecutive sequence positions of **all**
+  layers; keeping the layer axis inside the page means one page claim
+  covers a position range for the whole stack, so pages are claimed once
+  per ``page_size`` tokens rather than once per layer.
+
+* :class:`PagedKVSlot` is one sequence's handle: a *page table* (list of
+  arena page indices, in sequence order) that grows lazily as
+  ``append`` touches new positions.  Logical position ``p`` lives at
+  ``arena[page_table[p // page_size], layer, p % page_size]``.
+
+* ``view(layer, length)`` gathers the sequence's pages back into a
+  contiguous ``(length, d_model)`` K/V for the attention kernel.  Three
+  paths, fastest first: a sequence within a single page returns a
+  zero-copy arena view; a page table that happens to be one consecutive
+  arena run is rebuilt with a basic slice + reshape (no index array);
+  scattered pages use a fancy-index gather.  All three produce the same
+  float values, so attention output -- and therefore decode output -- is
+  bit-identical to the fixed-slot cache.
+
+Admission safety uses **worst-case reservation**: the scheduler reserves
+``ceil(needed_positions / page_size)`` pages when it admits a request
+(:meth:`PagedKVCache.allocate` with ``max_positions``), and lazy page
+claims draw the reservation down.  ``n_available_pages`` subtracts
+outstanding reservations from the free list, so a request admitted
+against it can never starve mid-decode, while memory *occupancy* (what
+:attr:`n_pages_in_use` reports) still tracks actual, not worst-case,
+lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import ModelConfig
+
+DEFAULT_PAGE_SIZE = 16
+
+
+class PagePool:
+    """Shared K/V page arena plus free-list and reservation accounting.
+
+    Storage is ``(n_pages, n_layers, page_size, d_model)`` for keys and
+    values.  Pages are claimed and released by :class:`PagedKVSlot`;
+    user code sizes the pool (``n_pages * page_size`` is the total
+    position budget shared by all sequences) and otherwise talks to
+    :class:`PagedKVCache`.
+    """
+
+    def __init__(self, config: ModelConfig, n_pages: int,
+                 page_size: int = DEFAULT_PAGE_SIZE):
+        if n_pages < 1:
+            raise ValueError(f"n_pages must be >= 1, got {n_pages}")
+        if page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {page_size}")
+        self.config = config
+        self.n_pages = n_pages
+        self.page_size = page_size
+        shape = (n_pages, config.n_layers, page_size, config.d_model)
+        self.keys = np.zeros(shape, dtype=np.float32)
+        self.values = np.zeros(shape, dtype=np.float32)
+        self._free = list(range(n_pages - 1, -1, -1))   # pop() -> lowest index
+        self._free_set = set(range(n_pages))
+        self._reserved = 0      # worst-case pages promised but not yet claimed
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def n_free_pages(self) -> int:
+        """Physically unclaimed pages (ignores reservations)."""
+        return len(self._free)
+
+    @property
+    def n_available_pages(self) -> int:
+        """Pages neither claimed nor reserved -- what admission can promise."""
+        return len(self._free) - self._reserved
+
+    @property
+    def n_pages_in_use(self) -> int:
+        return self.n_pages - len(self._free)
+
+    @property
+    def arena_bytes(self) -> int:
+        """Resident bytes of both arenas (the paged engine's KV footprint)."""
+        return self.keys.nbytes + self.values.nbytes
+
+    def pages_for(self, n_positions: int) -> int:
+        """Pages needed to hold ``n_positions`` sequence positions."""
+        if n_positions < 0:
+            raise ValueError(f"n_positions must be >= 0, got {n_positions}")
+        return -(-n_positions // self.page_size)
+
+    def can_reserve(self, n_positions: int) -> bool:
+        return self.pages_for(n_positions) <= self.n_available_pages
+
+    # -- page claims (called by PagedKVSlot) -------------------------------
+
+    def _claim_page(self, reserved: bool) -> int:
+        """Pop a free page; unreserved claims cannot eat into reservations."""
+        if not self._free:
+            raise RuntimeError(
+                f"page pool exhausted ({self.n_pages} pages of "
+                f"{self.page_size} positions)"
+            )
+        if not reserved and len(self._free) <= self._reserved:
+            raise RuntimeError(
+                "all free pages are reserved for admitted sequences"
+            )
+        index = self._free.pop()
+        self._free_set.discard(index)
+        if reserved:
+            self._reserved -= 1
+        return index
+
+    def _release_pages(self, pages) -> None:
+        for index in pages:
+            if index in self._free_set:
+                raise ValueError(f"page {index} released twice")
+            self._free.append(index)
+            self._free_set.add(index)
+
+    def _reserve(self, n_pages: int) -> None:
+        if n_pages > self.n_available_pages:
+            raise RuntimeError(
+                f"cannot reserve {n_pages} pages; only "
+                f"{self.n_available_pages} available"
+            )
+        self._reserved += n_pages
+
+    def _cancel_reservation(self, n_pages: int) -> None:
+        self._reserved -= n_pages
+
+
+class PagedKVSlot:
+    """One sequence's K/V storage: a page table over a :class:`PagePool`.
+
+    Exposes the same ``append`` / ``view`` / ``advance`` / ``reset``
+    interface as :class:`~repro.model.kvcache.KVSlot`, so
+    :func:`repro.model.inference.attend_single` and the batched engine
+    run unchanged on either cache.  Pages are claimed lazily: the table
+    grows the first time ``append`` touches a position in a new page.
+    """
+
+    def __init__(self, pool: PagePool, index: int, max_seq_len: int):
+        self._pool = pool
+        self.index = index
+        self.max_seq_len = max_seq_len
+        self.page_table: list = []
+        self.length = 0
+        self._reservation_left = 0
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.page_table)
+
+    def reserve(self, n_positions: int) -> None:
+        """Pre-commit the worst-case page count for this sequence.
+
+        Called at admission; lazy claims draw the reservation down, and
+        :meth:`reset` returns whatever was never used.
+        """
+        needed = self._pool.pages_for(min(n_positions, self.max_seq_len))
+        extra = needed - self.n_pages - self._reservation_left
+        if extra > 0:
+            self._pool._reserve(extra)
+            self._reservation_left += extra
+
+    def _ensure_page(self, page_index: int) -> None:
+        while len(self.page_table) <= page_index:
+            reserved = self._reservation_left > 0
+            self.page_table.append(self._pool._claim_page(reserved))
+            if reserved:
+                self._reservation_left -= 1
+
+    def append(self, layer: int, k: np.ndarray, v: np.ndarray,
+               position: int) -> None:
+        if position >= self.max_seq_len:
+            raise ValueError(
+                f"position {position} exceeds slot capacity {self.max_seq_len}"
+            )
+        page_size = self._pool.page_size
+        self._ensure_page(position // page_size)
+        page = self.page_table[position // page_size]
+        offset = position % page_size
+        self._pool.keys[page, layer, offset] = k
+        self._pool.values[page, layer, offset] = v
+
+    def view(self, layer: int, length: int) -> tuple[np.ndarray, np.ndarray]:
+        """K/V for the first ``length`` positions of ``layer``.
+
+        Zero-copy when the positions fit one page; basic-slice rebuild
+        when the page table is one consecutive arena run; fancy-index
+        gather otherwise.
+        """
+        pool = self._pool
+        page_size = pool.page_size
+        n_pages = pool.pages_for(length)
+        if n_pages > len(self.page_table):
+            raise ValueError(
+                f"view of {length} positions but only "
+                f"{len(self.page_table)} pages appended"
+            )
+        if n_pages <= 1:
+            page = self.page_table[0] if self.page_table else 0
+            return (pool.keys[page, layer, :length],
+                    pool.values[page, layer, :length])
+        pages = self.page_table[:n_pages]
+        first, last = pages[0], pages[-1]
+        d_model = pool.config.d_model
+        if last - first == n_pages - 1 and pages == list(range(first, last + 1)):
+            keys = pool.keys[first:last + 1, layer]
+            values = pool.values[first:last + 1, layer]
+        else:
+            keys = pool.keys[pages, layer]
+            values = pool.values[pages, layer]
+        return (keys.reshape(n_pages * page_size, d_model)[:length],
+                values.reshape(n_pages * page_size, d_model)[:length])
+
+    def advance(self) -> None:
+        self.length += 1
+        if self.length > self.max_seq_len:
+            raise ValueError("KV slot overflow")
+
+    def reset(self) -> None:
+        """Return every page (and any unused reservation) to the pool."""
+        if self.page_table:
+            self._pool._release_pages(self.page_table)
+            self.page_table = []
+        if self._reservation_left:
+            self._pool._cancel_reservation(self._reservation_left)
+            self._reservation_left = 0
+        self.length = 0
+
+
+class PagedKVCache:
+    """Drop-in paged replacement for :class:`~repro.model.kvcache.BatchedKVCache`.
+
+    Same ``allocate`` / ``release`` / ``n_free`` surface over a fixed set
+    of slot handles, but storage comes from a shared :class:`PagePool`
+    sized by ``n_pages`` (default: the fixed cache's worst case,
+    ``n_slots * ceil(max_seq_len / page_size)``).  Pass a smaller
+    ``n_pages`` to run under a memory budget: short sequences then leave
+    pages for extra concurrent sequences instead of padding out unused
+    slot tails.
+    """
+
+    def __init__(self, config: ModelConfig, n_slots: int,
+                 max_seq_len: int = 0, page_size: int = DEFAULT_PAGE_SIZE,
+                 n_pages: int = 0):
+        if n_slots < 1:
+            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        self.config = config
+        self.n_slots = n_slots
+        self.max_seq_len = max_seq_len or config.max_seq_len
+        worst_case = -(-self.max_seq_len // page_size)
+        self.pool = PagePool(config, n_pages or n_slots * worst_case,
+                             page_size)
+        self._slots = [PagedKVSlot(self.pool, i, self.max_seq_len)
+                       for i in range(n_slots)]
+        self._free = list(range(n_slots - 1, -1, -1))   # pop() -> lowest index
+        self._free_set = set(range(n_slots))
+
+    # -- pool passthroughs -------------------------------------------------
+
+    @property
+    def page_size(self) -> int:
+        return self.pool.page_size
+
+    @property
+    def n_pages(self) -> int:
+        return self.pool.n_pages
+
+    @property
+    def n_pages_in_use(self) -> int:
+        return self.pool.n_pages_in_use
+
+    @property
+    def n_free_pages(self) -> int:
+        return self.pool.n_free_pages
+
+    @property
+    def n_available_pages(self) -> int:
+        return self.pool.n_available_pages
+
+    @property
+    def kv_bytes(self) -> int:
+        return self.pool.arena_bytes
+
+    def pages_for(self, n_positions: int) -> int:
+        return self.pool.pages_for(n_positions)
+
+    @property
+    def max_request_positions(self) -> int:
+        """Longest sequence any single request could ever store."""
+        return min(self.max_seq_len, self.pool.n_pages * self.page_size)
+
+    def can_admit(self, n_positions: int) -> bool:
+        """Whether a worst-case ``n_positions`` request fits right now."""
+        return bool(self._free) and self.pool.can_reserve(n_positions)
+
+    # -- slot management ---------------------------------------------------
+
+    @property
+    def n_free(self) -> int:
+        return len(self._free)
+
+    def allocate(self, max_positions: int = 0) -> PagedKVSlot:
+        """Claim a slot, reserving ``max_positions`` worth of pages.
+
+        ``max_positions=0`` skips reservation: pages are then claimed
+        purely lazily, which is fine for direct engine use but forfeits
+        the no-mid-decode-starvation guarantee the scheduler relies on.
+        """
+        if not self._free:
+            raise RuntimeError("no free KV slots")
+        if max_positions and not self.pool.can_reserve(max_positions):
+            raise RuntimeError(
+                f"cannot admit a {max_positions}-position sequence: "
+                f"{self.pool.n_available_pages} pages available of "
+                f"{self.pool.n_pages}"
+            )
+        index = self._free.pop()
+        self._free_set.discard(index)
+        slot = self._slots[index]
+        slot.reset()
+        if max_positions:
+            slot.reserve(max_positions)
+        return slot
+
+    def release(self, slot: PagedKVSlot) -> None:
+        """Return a slot, its pages, and any unused reservation."""
+        if slot._pool is not self.pool:
+            raise ValueError("slot belongs to a different cache")
+        if slot.index in self._free_set:
+            raise ValueError(f"slot {slot.index} released twice")
+        slot.reset()
+        self._free.append(slot.index)
+        self._free_set.add(slot.index)

@@ -25,9 +25,14 @@ Pieces:
   intersection run as a batched GEMM, and per-sequence masks re-zero rows
   a sequence predicted sparse so outputs match single-sequence decode.
 * :mod:`repro.serving.engine`   -- :class:`BatchedEngine` over per-request
-  KV slots (:class:`repro.model.kvcache.BatchedKVCache`).
+  KV slots: fixed arrays (:class:`repro.model.kvcache.BatchedKVCache`)
+  or, with ``paged=True``, a shared page arena
+  (:class:`repro.model.paged_kvcache.PagedKVCache`) where short requests
+  hold only the pages they touch and admission is gated on worst-case
+  page demand.
 * :mod:`repro.serving.scheduler` -- continuous batching: admit from the
-  queue the moment a slot frees, retire finished sequences, never starve.
+  queue the moment a slot (and, when paged, its pages) frees, retire
+  finished sequences, never starve.
 """
 
 from .batch_mlp import BatchedMLPStats, BatchedSparseInferMLP

@@ -24,6 +24,7 @@ from ..core.engine import SparseInferSettings
 from ..core.predictor import SparseInferPredictor
 from ..model.inference import attend_single, forward_token_single
 from ..model.kvcache import BatchedKVCache, KVSlot
+from ..model.paged_kvcache import DEFAULT_PAGE_SIZE, PagedKVCache
 from ..model.mlp import DenseMLP, MLPExecutor
 from ..model.norm import rmsnorm
 from ..model.rope import rope_tables
@@ -48,6 +49,16 @@ class BatchedEngine:
         Number of KV slots, i.e. the concurrent-sequence ceiling.
     max_seq_len:
         Per-slot capacity; defaults to the model's ``max_seq_len``.
+    paged:
+        Back the slots with a shared page arena
+        (:class:`~repro.model.paged_kvcache.PagedKVCache`) instead of a
+        fixed ``max_seq_len`` array per slot; short requests then hold
+        only the pages they touch, so more sequences fit one memory
+        budget.  Decode output is bit-identical either way.
+    page_size / n_pages:
+        Paged-cache geometry: positions per page, and the total page
+        budget (default: the fixed cache's worst case, so ``paged=True``
+        alone never admits less).
     """
 
     def __init__(
@@ -57,6 +68,9 @@ class BatchedEngine:
         predictor: Optional[SparseInferPredictor] = None,
         max_batch_size: int = 8,
         max_seq_len: int = 0,
+        paged: bool = False,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        n_pages: int = 0,
     ):
         weights.validate()
         self.weights = weights
@@ -79,7 +93,16 @@ class BatchedEngine:
             else DenseMLP(weights)
         )
         self.max_batch_size = max_batch_size
-        self.cache = BatchedKVCache(self.config, max_batch_size, max_seq_len)
+        self.paged = paged
+        if paged:
+            self.cache = PagedKVCache(
+                self.config, max_batch_size, max_seq_len,
+                page_size=page_size, n_pages=n_pages,
+            )
+        else:
+            self.cache = BatchedKVCache(
+                self.config, max_batch_size, max_seq_len
+            )
 
     # -- slot management ---------------------------------------------------
 
@@ -87,8 +110,13 @@ class BatchedEngine:
     def n_free_slots(self) -> int:
         return self.cache.n_free
 
-    def allocate_slot(self) -> KVSlot:
-        return self.cache.allocate()
+    def can_admit(self, n_positions: int) -> bool:
+        """Whether a worst-case ``n_positions`` request fits right now."""
+        return self.cache.can_admit(n_positions)
+
+    def allocate_slot(self, max_positions: int = 0) -> KVSlot:
+        """Claim a slot; paged caches reserve ``max_positions`` of pages."""
+        return self.cache.allocate(max_positions)
 
     def release_slot(self, slot: KVSlot) -> None:
         self.cache.release(slot)
@@ -110,7 +138,9 @@ class BatchedEngine:
 
     def prefill(self, slot: KVSlot, prompt_ids: Sequence[int]) -> np.ndarray:
         """Run a prompt into a slot; returns last-position logits."""
-        if not prompt_ids:
+        # len(), not truthiness: a numpy-array prompt satisfies the
+        # Sequence[int] annotation but raises on bool().
+        if len(prompt_ids) == 0:
             raise ValueError("prefill needs at least one token")
         logits = None
         for tok in prompt_ids:

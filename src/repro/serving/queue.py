@@ -28,6 +28,17 @@ class RequestQueue:
             raise IndexError("pop from an empty request queue")
         return self._pending.popleft()
 
+    def peek(self) -> Request:
+        """The oldest pending request, without removing it.
+
+        Lets the scheduler check the head's worst-case KV demand (paged
+        admission) before committing to pop it -- FIFO order means a head
+        that does not fit yet simply waits, it is never skipped.
+        """
+        if not self._pending:
+            raise IndexError("peek at an empty request queue")
+        return self._pending[0]
+
     def __len__(self) -> int:
         return len(self._pending)
 

@@ -5,7 +5,12 @@ Each scheduler tick:
 1. retire sequences that finished last tick, freeing their KV slots;
 2. admit queued requests (FIFO) into free slots -- admission prefills the
    prompt and samples the first token, exactly like the single-sequence
-   ``generate`` loop samples from the prefill logits;
+   ``generate`` loop samples from the prefill logits.  On a paged KV
+   cache, admission additionally gates on the request's *worst-case*
+   page demand (``ceil((prompt + max_new - 1) / page_size)`` pages must
+   be reservable), so an admitted sequence can never starve for pages
+   mid-decode; zero-token requests complete immediately without a slot
+   or a prefill;
 3. run one batched decode step over all active sequences and sample each
    sequence's next token.
 
@@ -49,7 +54,15 @@ class _ActiveSequence:
 
 @dataclass
 class ServeReport:
-    """Outcome and telemetry of draining a workload."""
+    """Outcome and telemetry of draining a workload.
+
+    The ``page_*`` fields are populated only when the engine runs a
+    paged KV cache (``n_pages > 0``): ``page_occupancy_sum`` sums the
+    arena pages in use at each decode tick, so
+    :attr:`mean_page_occupancy` / :attr:`mean_page_utilisation` say how
+    full the shared page budget actually ran, and
+    ``peak_pages_in_use`` bounds the budget a replay would need.
+    """
 
     completions: List[Completion] = field(default_factory=list)
     decode_steps: int = 0
@@ -58,6 +71,10 @@ class ServeReport:
     prefill_seconds: float = 0.0
     decode_seconds: float = 0.0
     occupancy_sum: int = 0             # sum of batch sizes over decode steps
+    peak_occupancy: int = 0            # largest decode batch observed
+    n_pages: int = 0                   # page budget (0 = fixed-slot cache)
+    page_occupancy_sum: int = 0        # sum of pages in use over decode steps
+    peak_pages_in_use: int = 0
 
     @property
     def wall_seconds(self) -> float:
@@ -66,6 +83,16 @@ class ServeReport:
     @property
     def mean_batch_occupancy(self) -> float:
         return self.occupancy_sum / self.decode_steps if self.decode_steps else 0.0
+
+    @property
+    def mean_page_occupancy(self) -> float:
+        """Mean arena pages in use per decode tick (paged cache only)."""
+        return self.page_occupancy_sum / self.decode_steps if self.decode_steps else 0.0
+
+    @property
+    def mean_page_utilisation(self) -> float:
+        """Mean fraction of the page budget in use (paged cache only)."""
+        return self.mean_page_occupancy / self.n_pages if self.n_pages else 0.0
 
     @property
     def decode_tokens_per_second(self) -> float:
@@ -93,16 +120,33 @@ class ContinuousBatchingScheduler:
         )
         self.active: List[_ActiveSequence] = []
         self.step_count = 0
-        self.report = ServeReport()
+        self.report = ServeReport(
+            n_pages=getattr(engine.cache, "n_pages", 0)
+        )
+
+    @staticmethod
+    def _worst_case_positions(request: Request) -> int:
+        """KV positions the request could feed its slot.
+
+        A sequence feeds ``prompt_len + max_new_tokens - 1`` tokens (the
+        final sampled token is never fed back).  Zero-token requests
+        never prefill (they complete empty at admission), so they need
+        no KV at all -- whatever their prompt length.
+        """
+        if request.max_new_tokens == 0:
+            return 0
+        return request.prompt_len + request.max_new_tokens - 1
 
     def _capacity_error(self, request: Request) -> Optional[str]:
-        """Why ``request`` can never fit a KV slot, or None if it fits.
+        """Why ``request`` can never fit the KV cache, or None if it can.
 
-        A sequence feeds ``prompt_len + max_new_tokens - 1`` tokens into
-        its slot (the final sampled token is never fed back).
+        Checks against :attr:`max_request_positions` -- the per-slot cap
+        for the fixed cache, and additionally the whole page budget for a
+        paged cache (a request bigger than the entire arena could never
+        be admitted no matter how empty the system is).
         """
-        needed = request.prompt_len + max(0, request.max_new_tokens - 1)
-        capacity = self.engine.cache.max_seq_len
+        needed = self._worst_case_positions(request)
+        capacity = self.engine.cache.max_request_positions
         if needed <= capacity:
             return None
         return (
@@ -149,13 +193,15 @@ class ContinuousBatchingScheduler:
         return completion
 
     def _admit(self, finished: List[Completion]) -> None:
-        while self.queue and len(self.active) < self.max_batch_size \
-                and self.engine.n_free_slots:
-            request = self.queue.pop()
+        while self.queue:
+            request = self.queue.peek()
             reason = self._capacity_error(request)
             if reason is not None:
                 # Queued without going through submit(); reject instead
                 # of letting KVSlot.append blow up the whole batch.
+                # Rejection consumes no slot, so a full batch never
+                # delays it.
+                self.queue.pop()
                 completion = Completion(
                     request=request, generated_ids=[],
                     admitted_step=self.step_count,
@@ -164,7 +210,27 @@ class ContinuousBatchingScheduler:
                 self.report.completions.append(completion)
                 finished.append(completion)
                 continue
-            slot = self.engine.allocate_slot()
+            if request.max_new_tokens == 0:
+                # Nothing to decode: complete empty without burning a KV
+                # slot, a decode-batch seat, or a prefill the output can
+                # never use.
+                self.queue.pop()
+                completion = Completion(
+                    request=request, generated_ids=[],
+                    admitted_step=self.step_count,
+                    finished_step=self.step_count,
+                )
+                self.report.completions.append(completion)
+                finished.append(completion)
+                continue
+            needed = self._worst_case_positions(request)
+            if len(self.active) >= self.max_batch_size or \
+                    not self.engine.can_admit(needed):
+                # FIFO: the head waits for a seat and slots/pages;
+                # never skip it.
+                break
+            self.queue.pop()
+            slot = self.engine.allocate_slot(needed)
             seq = _ActiveSequence(
                 request=request, slot=slot, generated_ids=[],
                 admitted_step=self.step_count,
@@ -173,9 +239,14 @@ class ContinuousBatchingScheduler:
             logits = self.engine.prefill(slot, request.prompt_ids)
             self.report.prefill_seconds += time.perf_counter() - t0
             self.report.prefill_tokens += request.prompt_len
-            if request.max_new_tokens == 0:
-                finished.append(self._complete(seq))
-                continue
+            if self.report.n_pages:
+                # Sample the arena high-water mark while prefill-claimed
+                # pages are still held -- a sequence finishing right at
+                # admission would otherwise never be counted.
+                self.report.peak_pages_in_use = max(
+                    self.report.peak_pages_in_use,
+                    self.engine.cache.n_pages_in_use,
+                )
             first = self._greedy(logits)
             if request.stop_ids and first in request.stop_ids:
                 finished.append(self._complete(seq))
@@ -202,6 +273,15 @@ class ContinuousBatchingScheduler:
         self.report.decode_seconds += time.perf_counter() - t0
         self.report.decode_steps += 1
         self.report.occupancy_sum += len(self.active)
+        self.report.peak_occupancy = max(
+            self.report.peak_occupancy, len(self.active)
+        )
+        if self.report.n_pages:
+            in_use = self.engine.cache.n_pages_in_use
+            self.report.page_occupancy_sum += in_use
+            self.report.peak_pages_in_use = max(
+                self.report.peak_pages_in_use, in_use
+            )
 
         still_active: List[_ActiveSequence] = []
         for i, seq in enumerate(self.active):

@@ -220,6 +220,90 @@ class TestScheduler:
         assert by_id[2].admitted_step <= by_id[0].finished_step
         assert by_id[2].admitted_step > by_id[1].admitted_step
 
+    def test_numpy_array_prompt_prefills(self, micro_weights):
+        """Regression: ``if not prompt_ids:`` choked on numpy arrays."""
+        engine = build_batched_engine(micro_weights, max_batch_size=1)
+        slot = engine.allocate_slot()
+        logits = engine.prefill(slot, np.array(PROMPTS[0]))
+        ref = build_engine(micro_weights)
+        ref.reset()
+        np.testing.assert_array_equal(logits, ref.prefill(PROMPTS[0]))
+        engine.release_slot(slot)
+        with pytest.raises(ValueError, match="at least one token"):
+            slot2 = engine.allocate_slot()
+            engine.prefill(slot2, np.array([], dtype=np.int64))
+
+    def test_numpy_array_prompt_single_engine(self, micro_weights):
+        """Same regression on :meth:`InferenceModel.prefill`."""
+        engine = build_engine(micro_weights)
+        engine.reset()
+        got = engine.prefill(np.array(PROMPTS[0]))
+        engine.reset()
+        np.testing.assert_array_equal(got, engine.prefill(PROMPTS[0]))
+        with pytest.raises(ValueError, match="at least one token"):
+            engine.prefill(np.array([], dtype=np.int64))
+
+    def test_zero_token_request_skips_slot_and_prefill(self, micro_weights):
+        """max_new_tokens=0 must not burn a prefill or a KV slot."""
+        engine = build_batched_engine(micro_weights, max_batch_size=1)
+        scheduler = ContinuousBatchingScheduler(engine)
+        for i in range(3):
+            scheduler.submit(Request(request_id=i, prompt_ids=(1, 2, 3),
+                                     max_new_tokens=0))
+        report = scheduler.run()
+        assert report.prefill_tokens == 0
+        assert report.prefill_seconds == 0.0
+        assert report.decode_steps == 0
+        assert engine.n_free_slots == 1
+        assert all(c.ok and c.generated_ids == [] for c in report.completions)
+        # All three complete on the first tick: none waits for the one slot.
+        assert all(c.finished_step == c.admitted_step
+                   for c in report.completions)
+
+    def test_zero_token_completes_even_when_batch_is_full(
+        self, micro_weights
+    ):
+        """A zero-token request needs no decode seat, so a full batch
+        must not delay it."""
+        engine = build_batched_engine(micro_weights, max_batch_size=1)
+        scheduler = ContinuousBatchingScheduler(engine)
+        scheduler.submit(Request(request_id=0, prompt_ids=(1, 2),
+                                 max_new_tokens=20))
+        scheduler.submit(Request(request_id=1, prompt_ids=(3, 4),
+                                 max_new_tokens=0))
+        report = scheduler.run()
+        by_id = {c.request_id: c for c in report.completions}
+        assert by_id[1].ok and by_id[1].generated_ids == []
+        # It finished on the first tick it was considered, long before
+        # the decoding request released the only slot.
+        assert by_id[1].finished_step < by_id[0].finished_step
+
+    def test_zero_token_with_oversize_prompt_succeeds(self, micro_weights):
+        """No prefill means no KV demand: size limits don't apply."""
+        engine = build_batched_engine(micro_weights, max_batch_size=1,
+                                      max_seq_len=4)
+        scheduler = ContinuousBatchingScheduler(engine)
+        scheduler.submit(Request(request_id=0,
+                                 prompt_ids=tuple(range(1, 11)),
+                                 max_new_tokens=0))
+        report = scheduler.run()
+        assert report.completions[0].ok
+        assert report.completions[0].generated_ids == []
+        assert report.prefill_tokens == 0
+
+    def test_zero_token_requests_dont_block_real_ones(self, micro_weights):
+        engine = build_batched_engine(micro_weights, max_batch_size=1)
+        scheduler = ContinuousBatchingScheduler(engine)
+        scheduler.submit(Request(request_id=0, prompt_ids=(1, 2),
+                                 max_new_tokens=0))
+        scheduler.submit(Request(request_id=1, prompt_ids=(1, 2),
+                                 max_new_tokens=3))
+        report = scheduler.run()
+        by_id = {c.request_id: c for c in report.completions}
+        assert by_id[0].generated_ids == []
+        assert by_id[1].n_generated == 3
+        assert report.prefill_tokens == 2      # only request 1 prefilled
+
     def test_stop_ids_and_zero_budget(self, micro_weights):
         engine = build_batched_engine(micro_weights, max_batch_size=2)
         scheduler = ContinuousBatchingScheduler(engine)
