@@ -8,17 +8,22 @@
 set -eu
 cd "$(dirname "$0")/.."
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q "$@"
-# Serving + paged-KV suites run explicitly on the default (tier-1)
-# invocation: collection filters or testpath drift must never silently
-# drop the serving layer's coverage.  Skipped when the caller passed
-# their own pytest args (-m slow etc.) to keep those selections exact.
+# Serving + paged-KV suites (including the fork/COW property suite) run
+# explicitly on the default (tier-1) invocation: collection filters or
+# testpath drift must never silently drop the serving layer's coverage.
+# Skipped when the caller passed their own pytest args (-m slow etc.)
+# to keep those selections exact.
 if [ "$#" -eq 0 ]; then
     PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q \
-        tests/test_serving.py tests/test_paged_kv.py
+        tests/test_serving.py tests/test_paged_kv.py \
+        tests/test_paged_properties.py
 fi
-# Slow smoke of the paged-KV benchmark (equal-budget >= 2x concurrency
-# and batch=1 bit-identity); opt in because it decodes a real workload.
+# Slow smokes of the paged-KV benchmark (equal-budget >= 2x concurrency
+# and batch=1 bit-identity) and the prefix-sharing benchmark (>= 1.5x
+# concurrency from forked admission, intersection decays slower than
+# skip^B); opt in because they decode real workloads.
 if [ "${CHECK_SLOW:-0}" = "1" ]; then
     PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q \
-        -m slow -p no:cacheprovider benchmarks/bench_paged_kv.py
+        -m slow -p no:cacheprovider benchmarks/bench_paged_kv.py \
+        benchmarks/bench_prefix_sharing.py
 fi

@@ -98,13 +98,16 @@ def build_batched_engine(
     paged: bool = False,
     page_size: int = 16,
     n_pages: int = 0,
+    prefix_sharing: bool = False,
 ):
     """A serving-grade batched SparseInfer engine.
 
     Same knobs as :func:`build_engine` plus the slot pool size and the
     paged-KV geometry (``paged=True`` backs the slots with a shared
     page arena -- see :mod:`repro.model.paged_kvcache`; ``n_pages``
-    caps the total KV memory budget).  Returns a
+    caps the total KV memory budget; ``prefix_sharing=True`` lets
+    admissions fork a resident sequence's refcounted pages instead of
+    re-prefilling a shared prompt prefix).  Returns a
     :class:`repro.serving.engine.BatchedEngine`: per-sequence KV slots,
     dense per-sequence prefill, batched sparse decode exploiting the
     cross-sequence intersection of predicted skip sets (imported lazily --
@@ -121,4 +124,5 @@ def build_batched_engine(
         paged=paged,
         page_size=page_size,
         n_pages=n_pages,
+        prefix_sharing=prefix_sharing,
     )

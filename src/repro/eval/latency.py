@@ -161,6 +161,12 @@ class ServingMeasurement:
     prefill logits in both engines), so the same request costs the same
     value at any batch size -- queueing delay is deliberately excluded;
     use :class:`repro.serving.Completion` tick telemetry for that.
+
+    ``expected_uncorrelated_skip`` is the analytical ``skip^B`` the
+    intersection would decay to for independent sequences at the
+    realised mean occupancy; ``forked_admissions`` /
+    ``prefill_tokens_saved`` are non-zero only when the engine ran with
+    prefix sharing.
     """
 
     label: str
@@ -174,6 +180,10 @@ class ServingMeasurement:
     mean_decode_steps_per_request: float
     intersection_skip: float
     sequence_skip: float
+    expected_uncorrelated_skip: float = 0.0
+    forked_admissions: int = 0
+    prefill_tokens_saved: int = 0
+    peak_occupancy: int = 0
 
     @property
     def wall_seconds(self) -> float:
@@ -197,12 +207,19 @@ def measure_batched_serving(
     max_batch_size: int,
     settings=None,
     predictor=None,
+    paged: bool = False,
+    page_size: int = 16,
+    n_pages: int = 0,
+    prefix_sharing: bool = False,
+    reorder_window: int = 0,
 ) -> ServingMeasurement:
     """Drain ``requests`` through a batched engine and measure throughput.
 
     ``requests`` is a sequence of :class:`repro.serving.Request`; a fresh
     engine/scheduler pair is built per call so measurements are
-    independent.
+    independent.  The paged/prefix-sharing knobs mirror
+    :func:`repro.core.engine.build_batched_engine` and the scheduler's
+    ``reorder_window`` (correlation-aware admission).
     """
     from ..core.engine import build_batched_engine
     from ..serving.scheduler import ContinuousBatchingScheduler
@@ -210,14 +227,21 @@ def measure_batched_serving(
     engine = build_batched_engine(
         weights, settings=settings, predictor=predictor,
         max_batch_size=max_batch_size,
+        paged=paged, page_size=page_size, n_pages=n_pages,
+        prefix_sharing=prefix_sharing,
     )
-    scheduler = ContinuousBatchingScheduler(engine)
+    scheduler = ContinuousBatchingScheduler(
+        engine, reorder_window=reorder_window
+    )
     for request in requests:
         scheduler.submit(request)
     report = scheduler.run()
     steps = [c.decode_steps for c in report.completions]
+    label = f"batched(B<={max_batch_size})"
+    if prefix_sharing:
+        label += "+prefix"
     return ServingMeasurement(
-        label=f"batched(B<={max_batch_size})",
+        label=label,
         max_batch_size=max_batch_size,
         n_requests=len(report.completions),
         tokens_generated=report.tokens_generated,
@@ -228,6 +252,10 @@ def measure_batched_serving(
         mean_decode_steps_per_request=float(np.mean(steps)) if steps else 0.0,
         intersection_skip=engine.sparse.stats.intersection_skip_fraction,
         sequence_skip=engine.sparse.stats.mean_sequence_skip_fraction,
+        expected_uncorrelated_skip=report.expected_uncorrelated_skip,
+        forked_admissions=report.forked_admissions,
+        prefill_tokens_saved=report.prefill_tokens_saved,
+        peak_occupancy=report.peak_occupancy,
     )
 
 

@@ -1,12 +1,15 @@
 """Memory-usage comparisons: predictor footprints and KV-cache paging.
 
-Two accountings live here:
+Three accountings live here:
 
 * the paper's Section V-A.2 predictor comparison (PowerInfer's trained
   DejaVu predictors vs SparseInfer's packed sign bits);
 * the serving engine's KV-cache footprint -- fixed per-slot arrays vs
   the page-granular pool of :mod:`repro.model.paged_kvcache` -- for a
-  given request-length distribution.
+  given request-length distribution;
+* the prefix-sharing footprint -- per-sequence prefix copies vs one
+  refcounted set of shared prefix pages -- for a co-resident set with a
+  common prompt prefix (few-shot style workloads).
 """
 
 from __future__ import annotations
@@ -163,5 +166,103 @@ def format_kv_footprint(cmp: KVFootprintComparison) -> str:
         f"({cmp.n_requests} x {cmp.max_seq_len} positions), "
         f"paged {cmp.paged_mib:.2f} MiB "
         f"({cmp.n_pages} pages of {cmp.page_size}) "
+        f"= {cmp.reduction_factor:.2f}x less"
+    )
+
+
+# -- prefix sharing: refcounted pages vs per-sequence copies ----------------
+
+
+def pages_for_shared_prefix(lengths: Sequence[int], shared_prefix: int,
+                            page_size: int = 16) -> int:
+    """Total pages when every sequence shares one prompt prefix.
+
+    Mirrors :meth:`repro.model.paged_kvcache.PagedKVCache.fork`: the
+    ``shared_prefix // page_size`` full prefix pages are resident
+    **once** (refcounted), while each sequence privately holds its
+    remaining pages -- including the eagerly-copied partial prefix page
+    when ``shared_prefix`` is not page-aligned.
+    """
+    if page_size < 1:
+        raise ValueError(f"page_size must be >= 1, got {page_size}")
+    if shared_prefix < 0:
+        raise ValueError(f"shared_prefix must be >= 0, got {shared_prefix}")
+    if len(lengths) == 0:
+        return 0               # no sequences -> no pages resident
+    full_shared = shared_prefix // page_size
+    total = full_shared
+    for n in lengths:
+        if n < shared_prefix:
+            raise ValueError(
+                f"request length {n} is below the shared prefix "
+                f"{shared_prefix}"
+            )
+        total += -(-int(n) // page_size) - full_shared
+    return total
+
+
+@dataclass(frozen=True)
+class SharedPrefixKVComparison:
+    """Paged KV bytes for one co-resident set, with vs without sharing.
+
+    ``lengths`` are per-request KV positions, every request carrying the
+    same ``shared_prefix`` leading positions.  Without sharing each
+    sequence stores its own copy of the prefix pages; with sharing the
+    full prefix pages are stored once and refcounted.
+    """
+
+    model_name: str
+    page_size: int
+    shared_prefix: int
+    n_requests: int
+    pages_unshared: int
+    pages_shared: int
+    unshared_bytes: float
+    shared_bytes: float
+
+    @property
+    def unshared_mib(self) -> float:
+        return self.unshared_bytes / MIB
+
+    @property
+    def shared_mib(self) -> float:
+        return self.shared_bytes / MIB
+
+    @property
+    def reduction_factor(self) -> float:
+        return self.unshared_bytes / self.shared_bytes if self.shared_bytes \
+            else float("inf")
+
+
+def compare_shared_prefix_footprint(
+    config: ModelConfig,
+    lengths: Sequence[int],
+    shared_prefix: int,
+    page_size: int = 16,
+) -> SharedPrefixKVComparison:
+    """Paged KV bytes to co-schedule ``lengths`` with/without sharing."""
+    if len(lengths) == 0:
+        raise ValueError("lengths must be non-empty")
+    unshared = pages_for_lengths(lengths, page_size)
+    shared = pages_for_shared_prefix(lengths, shared_prefix, page_size)
+    return SharedPrefixKVComparison(
+        model_name=config.name,
+        page_size=page_size,
+        shared_prefix=shared_prefix,
+        n_requests=len(lengths),
+        pages_unshared=unshared,
+        pages_shared=shared,
+        unshared_bytes=paged_kv_bytes(config, unshared, page_size),
+        shared_bytes=paged_kv_bytes(config, shared, page_size),
+    )
+
+
+def format_shared_prefix_footprint(cmp: SharedPrefixKVComparison) -> str:
+    return (
+        f"{cmp.model_name}: {cmp.n_requests} requests sharing a "
+        f"{cmp.shared_prefix}-position prefix -- unshared "
+        f"{cmp.unshared_mib:.2f} MiB ({cmp.pages_unshared} pages), "
+        f"prefix-shared {cmp.shared_mib:.2f} MiB "
+        f"({cmp.pages_shared} pages of {cmp.page_size}) "
         f"= {cmp.reduction_factor:.2f}x less"
     )

@@ -128,6 +128,12 @@ class BatchedKVCache:
         return self.max_seq_len
 
     @property
+    def n_shared_pages(self) -> int:
+        """Interface parity with :class:`PagedKVCache`: fixed slots are
+        exclusively owned, so nothing is ever shared."""
+        return 0
+
+    @property
     def kv_bytes(self) -> int:
         """Resident bytes of both arrays (the fixed engine's KV footprint)."""
         return self.keys.nbytes + self.values.nbytes

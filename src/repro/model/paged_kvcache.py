@@ -35,6 +35,34 @@ outstanding reservations from the free list, so a request admitted
 against it can never starve mid-decode, while memory *occupancy* (what
 :attr:`n_pages_in_use` reports) still tracks actual, not worst-case,
 lengths.
+
+**Prefix sharing (refcount / copy-on-write lifecycle).**  Sequences with
+a common prompt prefix can map the *same* physical pages
+(:meth:`PagedKVCache.fork`):
+
+* Every claimed page carries a **refcount** -- the number of page tables
+  mapping it.  ``_claim_page`` starts it at 1, ``_share_page`` increments
+  it, and releasing a page decrements it; the page returns to the free
+  list only when the count reaches 0, so releasing a forked slot can
+  never free a page its donor still maps.
+
+* ``fork(donor, shared_positions)`` maps the donor's **full** prefix
+  pages into the new slot's table by reference and **eagerly copies the
+  partial trailing page** (if ``shared_positions`` is not page-aligned).
+  Shared pages are therefore always full, and decode-phase appends --
+  which only ever write at ``position == length >= shared_positions`` --
+  land on exclusively-owned pages, keeping shared pages immutable.
+
+* ``append`` still guards with **copy-on-write**: a write landing on a
+  page with refcount > 1 first claims a fresh page, memcpys the shared
+  page's contents, drops one reference on the shared page, and retargets
+  the slot's table entry.  The engine path never triggers it (see
+  above); it exists so direct cache users rewriting history cannot
+  corrupt a sibling sequence.
+
+* Reservation accounting composes: a forked slot's worst case is charged
+  only for its *unshared* pages (the shared full pages are already
+  resident), so admission of correlated requests gets strictly cheaper.
 """
 
 from __future__ import annotations
@@ -71,6 +99,8 @@ class PagePool:
         self._free = list(range(n_pages - 1, -1, -1))   # pop() -> lowest index
         self._free_set = set(range(n_pages))
         self._reserved = 0      # worst-case pages promised but not yet claimed
+        self._refcount = [0] * n_pages   # page tables mapping each page
+        self._n_shared = 0      # pages with refcount > 1 (O(1) telemetry)
 
     # -- accounting --------------------------------------------------------
 
@@ -87,6 +117,20 @@ class PagePool:
     @property
     def n_pages_in_use(self) -> int:
         return self.n_pages - len(self._free)
+
+    @property
+    def n_shared_pages(self) -> int:
+        """Pages currently mapped by more than one page table.
+
+        Maintained as a counter on the 1 <-> 2 refcount transitions:
+        the scheduler samples this every decode tick, so it must not
+        scan the arena.
+        """
+        return self._n_shared
+
+    def refcount(self, index: int) -> int:
+        """Number of page tables mapping page ``index`` (0 = free)."""
+        return self._refcount[index]
 
     @property
     def arena_bytes(self) -> int:
@@ -117,16 +161,30 @@ class PagePool:
             )
         index = self._free.pop()
         self._free_set.discard(index)
+        self._refcount[index] = 1
         if reserved:
             self._reserved -= 1
         return index
 
+    def _share_page(self, index: int) -> None:
+        """Add one page-table reference to an already-claimed page."""
+        if self._refcount[index] < 1:
+            raise ValueError(f"cannot share free page {index}")
+        if self._refcount[index] == 1:
+            self._n_shared += 1
+        self._refcount[index] += 1
+
     def _release_pages(self, pages) -> None:
+        """Drop one reference per page; free those that reach zero."""
         for index in pages:
-            if index in self._free_set:
+            if self._refcount[index] < 1 or index in self._free_set:
                 raise ValueError(f"page {index} released twice")
-            self._free.append(index)
-            self._free_set.add(index)
+            if self._refcount[index] == 2:
+                self._n_shared -= 1
+            self._refcount[index] -= 1
+            if self._refcount[index] == 0:
+                self._free.append(index)
+                self._free_set.add(index)
 
     def _reserve(self, n_pages: int) -> None:
         if n_pages > self.n_available_pages:
@@ -181,6 +239,24 @@ class PagedKVSlot:
             if reserved:
                 self._reservation_left -= 1
 
+    def _materialise_page(self, table_index: int) -> int:
+        """Copy-on-write: replace a shared page with an exclusive copy.
+
+        Claims an *unreserved* page (COW demand is beyond the slot's
+        worst case, which charges only unshared pages; drawing the
+        reservation down here would starve this slot's own future
+        appends), memcpys the shared page, and drops one reference on
+        it -- the other mappers keep their data untouched.
+        """
+        pool = self._pool
+        old = self.page_table[table_index]
+        new = pool._claim_page(reserved=False)
+        pool.keys[new] = pool.keys[old]
+        pool.values[new] = pool.values[old]
+        pool._release_pages([old])
+        self.page_table[table_index] = new
+        return new
+
     def append(self, layer: int, k: np.ndarray, v: np.ndarray,
                position: int) -> None:
         if position >= self.max_seq_len:
@@ -188,8 +264,11 @@ class PagedKVSlot:
                 f"position {position} exceeds slot capacity {self.max_seq_len}"
             )
         page_size = self._pool.page_size
-        self._ensure_page(position // page_size)
-        page = self.page_table[position // page_size]
+        table_index = position // page_size
+        self._ensure_page(table_index)
+        page = self.page_table[table_index]
+        if self._pool._refcount[page] > 1:
+            page = self._materialise_page(table_index)
         offset = position % page_size
         self._pool.keys[page, layer, offset] = k
         self._pool.values[page, layer, offset] = v
@@ -292,6 +371,10 @@ class PagedKVCache:
         return self.pool.n_available_pages
 
     @property
+    def n_shared_pages(self) -> int:
+        return self.pool.n_shared_pages
+
+    @property
     def kv_bytes(self) -> int:
         return self.pool.arena_bytes
 
@@ -345,3 +428,88 @@ class PagedKVCache:
         slot.reset()
         self._free.append(slot.index)
         self._free_set.add(slot.index)
+
+    # -- prefix sharing ----------------------------------------------------
+
+    def fork_page_demand(self, shared_positions: int,
+                         max_positions: int) -> int:
+        """Pages a fork must be able to claim or reserve right now.
+
+        The donor's full prefix pages come free (they are shared by
+        reference); everything else -- the eager copy of a partial
+        trailing page plus the unshared worst case -- must be backed by
+        available pages.
+        """
+        full_shared = shared_positions // self.page_size
+        total = min(max_positions or shared_positions, self.max_seq_len)
+        return max(self.pool.pages_for(total) - full_shared, 0)
+
+    def can_fork(self, donor: PagedKVSlot, shared_positions: int,
+                 max_positions: int = 0) -> bool:
+        """Whether :meth:`fork` with these arguments would succeed now."""
+        if not self._free or donor.index in self._free_set:
+            return False
+        if not 0 < shared_positions <= donor.length:
+            return False
+        if max_positions and max_positions < shared_positions:
+            return False
+        demand = self.fork_page_demand(shared_positions, max_positions)
+        return demand <= self.pool.n_available_pages
+
+    def fork(self, donor: PagedKVSlot, shared_positions: int,
+             max_positions: int = 0) -> PagedKVSlot:
+        """Map a new slot onto the donor's first ``shared_positions``.
+
+        Full pages of the shared prefix are mapped **by reference**
+        (refcount bumped); a partial trailing page is **copied eagerly**
+        so every shared page stays full and immutable.  The new slot
+        starts at ``length == shared_positions`` -- its K/V for those
+        positions is the donor's, bit for bit -- and ``max_positions``
+        reserves only the *unshared* worst case (shared full pages are
+        already resident).
+
+        Raises rather than partially forking when the donor is stale,
+        the geometry is inconsistent, or the pool cannot back the
+        unshared demand.
+        """
+        if donor._pool is not self.pool:
+            raise ValueError("donor slot belongs to a different cache")
+        if donor.index in self._free_set:
+            raise ValueError(f"donor slot {donor.index} is not allocated")
+        if not 0 < shared_positions <= donor.length:
+            raise ValueError(
+                f"shared_positions must be in [1, {donor.length}] "
+                f"(donor length), got {shared_positions}"
+            )
+        if max_positions and max_positions < shared_positions:
+            raise ValueError(
+                f"max_positions {max_positions} is below the shared "
+                f"prefix length {shared_positions}"
+            )
+        if not self._free:
+            raise RuntimeError("no free KV slots")
+        full_shared, partial = divmod(shared_positions, self.page_size)
+        demand = self.fork_page_demand(shared_positions, max_positions)
+        if demand > self.pool.n_available_pages:
+            raise RuntimeError(
+                f"cannot fork a {shared_positions}-position prefix: needs "
+                f"{demand} unshared pages, {self.pool.n_available_pages} "
+                f"available"
+            )
+        index = self._free.pop()
+        self._free_set.discard(index)
+        slot = self._slots[index]
+        slot.reset()
+        for page in donor.page_table[:full_shared]:
+            self.pool._share_page(page)
+            slot.page_table.append(page)
+        if max_positions:
+            slot.reserve(max_positions)   # charges only beyond the table
+        if partial:
+            slot._ensure_page(full_shared)
+            new = slot.page_table[full_shared]
+            old = donor.page_table[full_shared]
+            self.pool.keys[new] = self.pool.keys[old]
+            self.pool.values[new] = self.pool.values[old]
+        slot.length = shared_positions
+        return slot

@@ -32,12 +32,18 @@ Pieces:
   page demand.
 * :mod:`repro.serving.scheduler` -- continuous batching: admit from the
   queue the moment a slot (and, when paged, its pages) frees, retire
-  finished sequences, never starve.
+  finished sequences, never starve.  With ``prefix_sharing=True`` on the
+  engine and a ``reorder_window`` on the scheduler, admission prefers
+  queued requests sharing a live prompt prefix: they are forked onto the
+  donor's refcounted KV pages (copy-on-write, charged only their
+  unshared worst case), skip the shared prefill, and keep the decode
+  batch's sign patterns correlated so the intersection decays slower
+  than the independent ``skip^B``.
 """
 
 from .batch_mlp import BatchedMLPStats, BatchedSparseInferMLP
-from .engine import BatchedEngine
-from .queue import RequestQueue
+from .engine import BatchedEngine, PrefixIndex
+from .queue import EmptyQueueError, RequestQueue
 from .request import Completion, Request
 from .scheduler import ContinuousBatchingScheduler, ServeReport
 
@@ -47,6 +53,8 @@ __all__ = [
     "BatchedSparseInferMLP",
     "Completion",
     "ContinuousBatchingScheduler",
+    "EmptyQueueError",
+    "PrefixIndex",
     "Request",
     "RequestQueue",
     "ServeReport",

@@ -12,6 +12,17 @@ single-sequence engine (:func:`repro.model.inference.attend_single`,
 :meth:`repro.core.sparse_mlp.SparseInferMLP.run_with_skip`), and this
 BLAS computes ``x @ W`` and ``(x[None] @ W)[0]`` identically, so a batch
 of one is bit-identical to :func:`repro.core.engine.build_engine` output.
+
+With ``paged=True`` and ``prefix_sharing=True`` the engine additionally
+keeps a :class:`PrefixIndex` over resident sequences' prompts: a new
+request whose prompt shares a prefix with a resident one can be admitted
+by **forking** the donor's KV pages
+(:meth:`repro.model.paged_kvcache.PagedKVCache.fork`) instead of
+re-running prefill over the shared positions.  Causal attention makes the
+shared positions' K/V a pure function of the shared tokens, so the forked
+request's outputs stay bit-identical to an unshared admission -- prefix
+sharing changes *where* K/V comes from and *how much* prefill runs, never
+what is decoded.
 """
 
 from __future__ import annotations
@@ -30,6 +41,97 @@ from ..model.norm import rmsnorm
 from ..model.rope import rope_tables
 from ..model.weights import ModelWeights
 from .batch_mlp import BatchedSparseInferMLP
+
+
+class PrefixIndex:
+    """Hash index from page-aligned prompt prefixes to resident slots.
+
+    For every resident sequence the index stores one bucket per
+    page-aligned prefix of its prompt (``prompt[:k * page_size]``),
+    keyed by a **chained** per-page hash -- ``hash((prev_key,
+    page_tokens))``, vLLM block-hash style -- so all of a prompt's
+    bucket keys are computed in one O(len) pass rather than re-hashing
+    each prefix slice from scratch.  Lookup walks a new prompt's aligned
+    prefixes longest-first, verifies token equality on a hit (hashes can
+    collide), and then extends the match token by token past the last
+    aligned boundary -- the eager partial-page copy in
+    :meth:`~repro.model.paged_kvcache.PagedKVCache.fork` makes
+    non-aligned share lengths safe.
+
+    Prompts shorter than one page are never matched: there is no aligned
+    prefix to bucket, and sub-page sharing would save neither a page nor
+    enough prefill to matter.
+    """
+
+    def __init__(self, page_size: int):
+        if page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {page_size}")
+        self.page_size = page_size
+        self._prompts: dict = {}    # slot index -> prompt tuple
+        self._buckets: dict = {}    # hash(aligned prefix) -> set of slots
+
+    def __len__(self) -> int:
+        return len(self._prompts)
+
+    def _aligned_keys(self, prompt: tuple) -> list:
+        """Chained bucket keys, ``keys[i]`` covering ``prompt[:(i+1)*ps]``."""
+        keys = []
+        key = 0
+        page_size = self.page_size
+        for start in range(0, len(prompt) - page_size + 1, page_size):
+            key = hash((key, prompt[start:start + page_size]))
+            keys.append(key)
+        return keys
+
+    def insert(self, slot_index: int, prompt_ids) -> None:
+        if slot_index in self._prompts:
+            raise ValueError(f"slot {slot_index} already indexed")
+        prompt = tuple(int(t) for t in prompt_ids)
+        self._prompts[slot_index] = prompt
+        for key in self._aligned_keys(prompt):
+            self._buckets.setdefault(key, set()).add(slot_index)
+
+    def remove(self, slot_index: int) -> None:
+        prompt = self._prompts.pop(slot_index, None)
+        if prompt is None:
+            return
+        for key in self._aligned_keys(prompt):
+            bucket = self._buckets.get(key)
+            if bucket is not None:
+                bucket.discard(slot_index)
+                if not bucket:
+                    del self._buckets[key]
+
+    def lookup(self, prompt_ids) -> tuple:
+        """``(slot_index, shared_len)`` of the longest shareable prefix.
+
+        ``shared_len`` is capped at ``len(prompt) - 1``: at least one
+        prompt token must be prefilled so the admission has last-position
+        logits to sample from.  Returns ``(None, 0)`` when no resident
+        prompt shares at least one full page.
+        """
+        prompt = tuple(int(t) for t in prompt_ids)
+        cap = len(prompt) - 1
+        keys = self._aligned_keys(prompt)[:cap // self.page_size]
+        for i in range(len(keys) - 1, -1, -1):
+            end = (i + 1) * self.page_size
+            bucket = self._buckets.get(keys[i])
+            if not bucket:
+                continue
+            best_slot, best_shared = None, 0
+            for slot_index in bucket:
+                donor = self._prompts[slot_index]
+                if donor[:end] != prompt[:end]:     # hash-collision guard
+                    continue
+                shared = end
+                limit = min(cap, len(donor))
+                while shared < limit and donor[shared] == prompt[shared]:
+                    shared += 1
+                if shared > best_shared:
+                    best_slot, best_shared = slot_index, shared
+            if best_slot is not None:
+                return best_slot, best_shared
+        return None, 0
 
 
 class BatchedEngine:
@@ -59,6 +161,11 @@ class BatchedEngine:
         Paged-cache geometry: positions per page, and the total page
         budget (default: the fixed cache's worst case, so ``paged=True``
         alone never admits less).
+    prefix_sharing:
+        Keep a :class:`PrefixIndex` over resident prompts and allow
+        admissions to fork a resident sequence's KV pages
+        (copy-on-write) instead of re-prefilling a shared prefix.
+        Requires ``paged=True``.
     """
 
     def __init__(
@@ -71,6 +178,7 @@ class BatchedEngine:
         paged: bool = False,
         page_size: int = DEFAULT_PAGE_SIZE,
         n_pages: int = 0,
+        prefix_sharing: bool = False,
     ):
         weights.validate()
         self.weights = weights
@@ -94,6 +202,9 @@ class BatchedEngine:
         )
         self.max_batch_size = max_batch_size
         self.paged = paged
+        if prefix_sharing and not paged:
+            raise ValueError("prefix_sharing requires paged=True")
+        self.prefix_sharing = prefix_sharing
         if paged:
             self.cache = PagedKVCache(
                 self.config, max_batch_size, max_seq_len,
@@ -103,6 +214,10 @@ class BatchedEngine:
             self.cache = BatchedKVCache(
                 self.config, max_batch_size, max_seq_len
             )
+        self._prefix_index = (
+            PrefixIndex(self.cache.page_size) if prefix_sharing else None
+        )
+        self._resident: dict = {}          # slot index -> live slot handle
 
     # -- slot management ---------------------------------------------------
 
@@ -119,7 +234,56 @@ class BatchedEngine:
         return self.cache.allocate(max_positions)
 
     def release_slot(self, slot: KVSlot) -> None:
+        if self._prefix_index is not None:
+            self._prefix_index.remove(slot.index)
+            self._resident.pop(slot.index, None)
         self.cache.release(slot)
+
+    # -- prefix sharing ----------------------------------------------------
+
+    def find_prefix_donor(self, prompt_ids) -> tuple:
+        """``(donor_slot, shared_positions)`` or ``(None, 0)``.
+
+        The donor is the resident sequence whose registered prompt
+        shares the longest prefix with ``prompt_ids`` (at least one full
+        page, at most ``len(prompt_ids) - 1`` so one token is left to
+        prefill for last-position logits).
+        """
+        if self._prefix_index is None or len(prompt_ids) < 2:
+            return None, 0
+        slot_index, shared = self._prefix_index.lookup(prompt_ids)
+        if slot_index is None:
+            return None, 0
+        return self._resident[slot_index], shared
+
+    def can_fork(self, donor: KVSlot, shared_positions: int,
+                 max_positions: int = 0) -> bool:
+        """Whether forking ``donor`` at ``shared_positions`` fits now."""
+        if not self.prefix_sharing:
+            return False
+        return self.cache.can_fork(donor, shared_positions, max_positions)
+
+    def fork_slot(self, donor: KVSlot, shared_positions: int,
+                  max_positions: int = 0) -> KVSlot:
+        """Claim a slot whose first ``shared_positions`` alias the donor.
+
+        The new slot starts at ``length == shared_positions``; callers
+        prefill only the prompt *suffix* (positions continue where the
+        shared prefix ends).  ``max_positions`` reserves only the
+        unshared worst case.
+        """
+        if not self.prefix_sharing:
+            raise RuntimeError(
+                "engine built without prefix_sharing=True cannot fork"
+            )
+        return self.cache.fork(donor, shared_positions, max_positions)
+
+    def register_prefix(self, slot: KVSlot, prompt_ids) -> None:
+        """Make a just-prefilled sequence's prompt visible as a donor."""
+        if self._prefix_index is None:
+            return
+        self._resident[slot.index] = slot
+        self._prefix_index.insert(slot.index, prompt_ids)
 
     # -- forward passes ----------------------------------------------------
 

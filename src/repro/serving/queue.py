@@ -1,9 +1,17 @@
 """FIFO admission queue for the serving scheduler.
 
-Admission order is strictly arrival order: the scheduler admits the head
-request whenever a KV slot is free, so a long-running batch can delay but
-never permanently starve a queued request (every retirement frees a slot
-and the head is admitted before the next decode step).
+Admission order is strictly arrival order by default: the scheduler
+admits the head request whenever a KV slot is free, so a long-running
+batch can delay but never permanently starve a queued request (every
+retirement frees a slot and the head is admitted before the next decode
+step).  The correlation-aware scheduler may admit out of order within a
+*bounded* window (:meth:`RequestQueue.window` / :meth:`RequestQueue.pop_at`);
+the starvation bound then lives in the scheduler, not here.
+
+Empty-queue access raises :class:`EmptyQueueError`, a typed
+:class:`IndexError` subclass.  Callers draining the queue must catch the
+typed error specifically: a bare ``IndexError`` escaping from admission
+bookkeeping is a bug and should crash, not read as "queue empty".
 """
 
 from __future__ import annotations
@@ -11,6 +19,15 @@ from __future__ import annotations
 from collections import deque
 
 from .request import Request
+
+
+class EmptyQueueError(IndexError):
+    """Pop/peek on an empty :class:`RequestQueue`.
+
+    Subclasses :class:`IndexError` for backwards compatibility, but is
+    what drain loops should catch -- a plain ``IndexError`` raised by a
+    genuine indexing bug must keep propagating.
+    """
 
 
 class RequestQueue:
@@ -25,7 +42,7 @@ class RequestQueue:
     def pop(self) -> Request:
         """Remove and return the oldest pending request."""
         if not self._pending:
-            raise IndexError("pop from an empty request queue")
+            raise EmptyQueueError("pop from an empty request queue")
         return self._pending.popleft()
 
     def peek(self) -> Request:
@@ -36,8 +53,43 @@ class RequestQueue:
         that does not fit yet simply waits, it is never skipped.
         """
         if not self._pending:
-            raise IndexError("peek at an empty request queue")
+            raise EmptyQueueError("peek at an empty request queue")
         return self._pending[0]
+
+    def window(self, n: int) -> list:
+        """The first ``min(n, len)`` pending requests, oldest first.
+
+        The correlation-aware scheduler scans this bounded prefix for a
+        request sharing a live prompt prefix; requests beyond the window
+        are invisible to reordering, which is what bounds head-of-line
+        bypass.
+        """
+        if n < 1:
+            raise ValueError(f"window must be >= 1, got {n}")
+        return [self._pending[i] for i in range(min(n, len(self._pending)))]
+
+    def pop_at(self, index: int) -> Request:
+        """Remove and return the request at ``index`` (0 = head).
+
+        A negative index is caller bookkeeping gone wrong and raises a
+        plain ``IndexError`` regardless of queue state (it must never
+        read as "queue empty"); a non-negative index raises
+        :class:`EmptyQueueError` only when the queue is empty, and a
+        plain ``IndexError`` when it is merely out of range.
+        """
+        if index < 0:
+            raise IndexError(f"pop_at index must be >= 0, got {index}")
+        if not self._pending:
+            raise EmptyQueueError("pop_at on an empty request queue")
+        if index >= len(self._pending):
+            raise IndexError(
+                f"pop_at({index}) with {len(self._pending)} pending"
+            )
+        if index == 0:
+            return self._pending.popleft()
+        request = self._pending[index]
+        del self._pending[index]
+        return request
 
     def __len__(self) -> int:
         return len(self._pending)

@@ -33,6 +33,23 @@ class Request:
     def prompt_len(self) -> int:
         return len(self.prompt_ids)
 
+    def common_prefix_len(self, other_prompt_ids) -> int:
+        """Length of the longest common prompt prefix with ``other``.
+
+        Positions inside the common prefix attend over identical token
+        context, so their cached K/V is bit-identical across the two
+        requests and shareable via ``PagedKVCache.fork``.  Convenience
+        for workload analysis and tests; the engine's
+        :class:`~repro.serving.engine.PrefixIndex` performs the
+        equivalent matching inline over its page-aligned hash buckets.
+        """
+        n = 0
+        for a, b in zip(self.prompt_ids, other_prompt_ids):
+            if a != int(b):
+                break
+            n += 1
+        return n
+
 
 @dataclass
 class Completion:

@@ -19,6 +19,24 @@ batching): a finishing request never blocks on its batch-mates and a
 pending request waits only until the next free slot.  FIFO admission
 makes starvation impossible -- every retirement frees a slot and the
 queue head is always admitted first.
+
+**Correlation-aware admission.**  When the engine runs with
+``prefix_sharing=True`` and the scheduler is given a ``reorder_window``
+> 1, admission may prefer -- from the first ``reorder_window`` queued
+requests -- one that shares a *live* prompt prefix with a resident
+sequence over the FIFO head.  Such a request is admitted by forking the
+donor's KV pages (cheaper: it is charged only its unshared worst case,
+and its shared prefill is skipped) and keeps the decode batch's
+activation sign patterns correlated, which slows the ``skip^B``
+intersection decay (:func:`repro.gpu.batching.batch_skip_fraction` with
+``correlation > 0``).  Starvation stays bounded: the head is bypassed at
+most ``reorder_window - 1`` times before it must be the next admission,
+so FIFO is the steady-state order.
+
+The admission loop drains the queue by catching the typed
+:class:`~repro.serving.queue.EmptyQueueError` only -- a bare
+``IndexError`` escaping from admission bookkeeping is a bug and must
+propagate, not read as "queue empty".
 """
 
 from __future__ import annotations
@@ -30,7 +48,7 @@ from typing import List, Optional
 import numpy as np
 
 from .engine import BatchedEngine
-from .queue import RequestQueue
+from .queue import EmptyQueueError, RequestQueue
 from .request import Completion, Request
 
 
@@ -62,6 +80,18 @@ class ServeReport:
     :attr:`mean_page_occupancy` / :attr:`mean_page_utilisation` say how
     full the shared page budget actually ran, and
     ``peak_pages_in_use`` bounds the budget a replay would need.
+
+    Prefix-sharing telemetry: ``forked_admissions`` counts requests
+    admitted by forking a resident donor, ``prefill_tokens_saved`` sums
+    the shared positions whose prefill those forks skipped, and the
+    ``shared_pages`` fields track physical pages mapped by more than one
+    sequence.  ``intersection_skip`` is the realised cross-sequence skip
+    fraction at weight-read granularity; ``expected_uncorrelated_skip``
+    is the analytical ``skip^B`` decay it would have suffered with
+    independent sequences (``B`` = mean batch occupancy, the
+    ``correlation = 0`` curve of
+    :func:`repro.gpu.batching.batch_skip_fraction`), so their gap is the
+    sparsity that correlation-aware batching retained.
     """
 
     completions: List[Completion] = field(default_factory=list)
@@ -75,6 +105,13 @@ class ServeReport:
     n_pages: int = 0                   # page budget (0 = fixed-slot cache)
     page_occupancy_sum: int = 0        # sum of pages in use over decode steps
     peak_pages_in_use: int = 0
+    forked_admissions: int = 0         # admissions served by a KV fork
+    prefill_tokens_saved: int = 0      # prompt positions reused, not re-run
+    shared_pages_sum: int = 0          # sum of shared pages over decode steps
+    peak_shared_pages: int = 0
+    intersection_skip: float = 0.0     # realised cross-sequence skip
+    mean_sequence_skip: float = 0.0    # per-sequence (batch=1) ceiling
+    expected_uncorrelated_skip: float = 0.0   # skip^B at mean occupancy
 
     @property
     def wall_seconds(self) -> float:
@@ -95,6 +132,22 @@ class ServeReport:
         return self.mean_page_occupancy / self.n_pages if self.n_pages else 0.0
 
     @property
+    def mean_shared_pages(self) -> float:
+        """Mean pages mapped by >1 sequence per decode tick."""
+        return self.shared_pages_sum / self.decode_steps if self.decode_steps else 0.0
+
+    @property
+    def prefill_sharing_fraction(self) -> float:
+        """Fraction of prompt positions served from shared KV."""
+        total = self.prefill_tokens + self.prefill_tokens_saved
+        return self.prefill_tokens_saved / total if total else 0.0
+
+    @property
+    def skip_retained_vs_uncorrelated(self) -> float:
+        """Realised intersection skip minus the independent ``skip^B``."""
+        return self.intersection_skip - self.expected_uncorrelated_skip
+
+    @property
     def decode_tokens_per_second(self) -> float:
         return self.tokens_generated / self.decode_seconds if self.decode_seconds else 0.0
 
@@ -105,21 +158,34 @@ class ServeReport:
 
 
 class ContinuousBatchingScheduler:
-    """Drains a request queue through a :class:`BatchedEngine`."""
+    """Drains a request queue through a :class:`BatchedEngine`.
+
+    ``reorder_window`` enables correlation-aware admission (see module
+    docstring): values <= 1 mean strict FIFO; a window of ``w`` lets a
+    request sharing a live prefix jump at most ``w - 1`` positions, and
+    the head is never bypassed more than ``w - 1`` admissions in a row.
+    """
 
     def __init__(
         self,
         engine: BatchedEngine,
         queue: Optional[RequestQueue] = None,
         max_batch_size: Optional[int] = None,
+        reorder_window: int = 0,
     ):
+        if reorder_window < 0:
+            raise ValueError(
+                f"reorder_window must be >= 0, got {reorder_window}"
+            )
         self.engine = engine
         self.queue = queue if queue is not None else RequestQueue()
         self.max_batch_size = min(
             max_batch_size or engine.max_batch_size, engine.max_batch_size
         )
+        self.reorder_window = reorder_window
         self.active: List[_ActiveSequence] = []
         self.step_count = 0
+        self._head_skips = 0       # consecutive admissions that bypassed head
         self.report = ServeReport(
             n_pages=getattr(engine.cache, "n_pages", 0)
         )
@@ -192,53 +258,124 @@ class ContinuousBatchingScheduler:
         self.report.completions.append(completion)
         return completion
 
+    def _admission_plan(self, request: Request) -> tuple:
+        """``(donor, shared, needed, fits)`` for admitting ``request``.
+
+        Forking is preferred whenever a live donor shares a prefix and
+        the fork's (strictly smaller) page demand fits; otherwise the
+        plan falls back to a plain worst-case allocation.
+        """
+        needed = self._worst_case_positions(request)
+        if self.engine.prefix_sharing:
+            donor, shared = self.engine.find_prefix_donor(request.prompt_ids)
+            if donor is not None and \
+                    self.engine.can_fork(donor, shared, needed):
+                return donor, shared, needed, True
+        return None, 0, needed, self.engine.can_admit(needed)
+
+    def _choose_admission(self, head: Request) -> Optional[tuple]:
+        """The next admission: the head, or a bounded-window jump.
+
+        Returns ``(queue_index, request, donor, shared, needed)`` or
+        ``None`` when nothing can be admitted this tick.  A request
+        later in the window is chosen only when it shares a live prefix
+        *longer* than whatever the head can share, its fork fits, and
+        the head has not yet been bypassed ``reorder_window - 1`` times
+        in a row -- after that the head is guaranteed to be the next
+        admission, bounding starvation.
+        """
+        donor, shared, needed, fits = self._admission_plan(head)
+        best = (0, head, donor, shared, needed) if fits else None
+        best_shared = shared if fits and donor is not None else 0
+        if self.reorder_window > 1 and self.engine.prefix_sharing and \
+                self._head_skips < self.reorder_window - 1:
+            for i, request in enumerate(self.queue.window(self.reorder_window)):
+                if i == 0:
+                    continue
+                if request.max_new_tokens == 0 or \
+                        self._capacity_error(request) is not None:
+                    continue   # handled (cheaply) when it reaches the head
+                c_needed = self._worst_case_positions(request)
+                c_donor, c_shared = self.engine.find_prefix_donor(
+                    request.prompt_ids
+                )
+                if c_donor is None or c_shared <= best_shared:
+                    continue
+                if not self.engine.can_fork(c_donor, c_shared, c_needed):
+                    continue
+                best = (i, request, c_donor, c_shared, c_needed)
+                best_shared = c_shared
+        return best
+
     def _admit(self, finished: List[Completion]) -> None:
-        while self.queue:
-            request = self.queue.peek()
-            reason = self._capacity_error(request)
+        while True:
+            try:
+                head = self.queue.peek()
+            except EmptyQueueError:
+                break
+            reason = self._capacity_error(head)
             if reason is not None:
                 # Queued without going through submit(); reject instead
                 # of letting KVSlot.append blow up the whole batch.
                 # Rejection consumes no slot, so a full batch never
                 # delays it.
                 self.queue.pop()
+                self._head_skips = 0
                 completion = Completion(
-                    request=request, generated_ids=[],
+                    request=head, generated_ids=[],
                     admitted_step=self.step_count,
                     finished_step=self.step_count, error=reason,
                 )
                 self.report.completions.append(completion)
                 finished.append(completion)
                 continue
-            if request.max_new_tokens == 0:
+            if head.max_new_tokens == 0:
                 # Nothing to decode: complete empty without burning a KV
                 # slot, a decode-batch seat, or a prefill the output can
                 # never use.
                 self.queue.pop()
+                self._head_skips = 0
                 completion = Completion(
-                    request=request, generated_ids=[],
+                    request=head, generated_ids=[],
                     admitted_step=self.step_count,
                     finished_step=self.step_count,
                 )
                 self.report.completions.append(completion)
                 finished.append(completion)
                 continue
-            needed = self._worst_case_positions(request)
-            if len(self.active) >= self.max_batch_size or \
-                    not self.engine.can_admit(needed):
-                # FIFO: the head waits for a seat and slots/pages;
-                # never skip it.
+            if len(self.active) >= self.max_batch_size:
                 break
-            self.queue.pop()
-            slot = self.engine.allocate_slot(needed)
+            choice = self._choose_admission(head)
+            if choice is None:
+                # The head waits for a seat and slots/pages, and no
+                # in-window prefix-sharer can take its place.
+                break
+            index, request, donor, shared, needed = choice
+            self.queue.pop_at(index)
+            if index == 0:
+                self._head_skips = 0
+            else:
+                self._head_skips += 1
+            if donor is not None:
+                # Fork: shared prefix K/V comes from the donor's pages;
+                # only the unshared suffix is prefilled and only the
+                # unshared worst case is reserved.
+                slot = self.engine.fork_slot(donor, shared, needed)
+                prompt_suffix = request.prompt_ids[shared:]
+                self.report.forked_admissions += 1
+                self.report.prefill_tokens_saved += shared
+            else:
+                slot = self.engine.allocate_slot(needed)
+                prompt_suffix = request.prompt_ids
             seq = _ActiveSequence(
                 request=request, slot=slot, generated_ids=[],
                 admitted_step=self.step_count,
             )
             t0 = time.perf_counter()
-            logits = self.engine.prefill(slot, request.prompt_ids)
+            logits = self.engine.prefill(slot, prompt_suffix)
             self.report.prefill_seconds += time.perf_counter() - t0
-            self.report.prefill_tokens += request.prompt_len
+            self.report.prefill_tokens += len(prompt_suffix)
+            self.engine.register_prefix(slot, request.prompt_ids)
             if self.report.n_pages:
                 # Sample the arena high-water mark while prefill-claimed
                 # pages are still held -- a sequence finishing right at
@@ -246,6 +383,10 @@ class ContinuousBatchingScheduler:
                 self.report.peak_pages_in_use = max(
                     self.report.peak_pages_in_use,
                     self.engine.cache.n_pages_in_use,
+                )
+                self.report.peak_shared_pages = max(
+                    self.report.peak_shared_pages,
+                    self.engine.cache.n_shared_pages,
                 )
             first = self._greedy(logits)
             if request.stop_ids and first in request.stop_ids:
@@ -282,6 +423,11 @@ class ContinuousBatchingScheduler:
             self.report.peak_pages_in_use = max(
                 self.report.peak_pages_in_use, in_use
             )
+            shared = self.engine.cache.n_shared_pages
+            self.report.shared_pages_sum += shared
+            self.report.peak_shared_pages = max(
+                self.report.peak_shared_pages, shared
+            )
 
         still_active: List[_ActiveSequence] = []
         for i, seq in enumerate(self.active):
@@ -298,7 +444,29 @@ class ContinuousBatchingScheduler:
             else:
                 finished.append(self._complete(seq))
         self.active = still_active
+        self._finalise_skip_telemetry()
         return finished
+
+    def _finalise_skip_telemetry(self) -> None:
+        """Fill the report's realised-vs-analytical skip fields.
+
+        ``expected_uncorrelated_skip`` evaluates ``skip^B`` at the mean
+        batch occupancy -- the ``correlation = 0`` curve of
+        :func:`repro.gpu.batching.batch_skip_fraction` extended to the
+        fractional ``B`` a drained workload realises -- so the realised
+        intersection sitting *above* it is direct evidence of correlated
+        (e.g. shared-prefix) co-scheduling.  Idempotent and cheap;
+        refreshed after every :meth:`step` so callers driving the
+        scheduler tick-by-tick see live values, not run()-only ones.
+        """
+        stats = self.engine.sparse.stats
+        self.report.intersection_skip = stats.intersection_skip_fraction
+        self.report.mean_sequence_skip = stats.mean_sequence_skip_fraction
+        occupancy = self.report.mean_batch_occupancy
+        if occupancy >= 1.0:
+            self.report.expected_uncorrelated_skip = float(
+                self.report.mean_sequence_skip ** occupancy
+            )
 
     def run(self, max_steps: int = 1_000_000) -> ServeReport:
         """Tick until the queue and the batch are both empty."""
@@ -310,4 +478,5 @@ class ContinuousBatchingScheduler:
                 raise RuntimeError(
                     f"scheduler did not drain within {max_steps} steps"
                 )
+        self._finalise_skip_telemetry()
         return self.report

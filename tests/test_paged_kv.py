@@ -223,6 +223,140 @@ class TestPagedEngineEquivalence:
                                  max_seq_len=64).cache.kv_bytes
 
 
+class TestPrefixSharingEquivalence:
+    """Forked decode must be bit-identical to unshared paged decode and
+    to ``build_engine``, wherever the shared prefix lands on the page
+    grid."""
+
+    PROMPT_A = [1, 4, 2, 7, 3, 5, 6, 2, 9, 1, 3, 8]      # 12 tokens
+    SUFFIX = [9, 2, 5]
+    # page_size -> shared prefix lengths: on a page boundary, mid-page,
+    # and past the donor's end (the fork shares the donor's entire
+    # resident prompt and the new prompt strictly extends it).
+    CASES = {1: [3, 12], 3: [6, 7, 11, 12], 16: [5, 11, 12]}
+
+    @pytest.mark.parametrize("page_size", [1, 3, 16])
+    def test_forked_prefill_and_decode_bit_identical(self, micro_weights,
+                                                     page_size):
+        for shared in self.CASES[page_size]:
+            prompt_b = self.PROMPT_A[:shared] + self.SUFFIX
+            worst = len(prompt_b) + 8
+
+            forked = build_batched_engine(micro_weights, max_batch_size=2,
+                                          paged=True, page_size=page_size,
+                                          prefix_sharing=True)
+            slot_a = forked.allocate_slot()
+            logits_a = forked.prefill(slot_a, self.PROMPT_A)
+            slot_b = forked.fork_slot(slot_a, shared, worst)
+            assert slot_b.length == shared
+            logits_b = forked.prefill(slot_b, self.SUFFIX)
+
+            plain = build_batched_engine(micro_weights, max_batch_size=2,
+                                         paged=True, page_size=page_size)
+            ref_a = plain.allocate_slot()
+            plain.prefill(ref_a, self.PROMPT_A)
+            ref_b = plain.allocate_slot()
+            ref_logits_b = plain.prefill(ref_b, prompt_b)
+
+            single = build_engine(micro_weights)
+            single.reset()
+            single_logits = single.prefill(prompt_b)
+
+            np.testing.assert_array_equal(logits_b, ref_logits_b)
+            np.testing.assert_array_equal(logits_b, single_logits)
+
+            # Decode the forked sequence alone: batch=1 stays
+            # bit-identical across all three engines.
+            token = int(np.argmax(logits_b))
+            for _ in range(3):
+                step = forked.decode_step([slot_b], [token])
+                ref_step = plain.decode_step([ref_b], [token])
+                single_step = single.forward_token(
+                    token, single.cache.length
+                )
+                np.testing.assert_array_equal(step[0], ref_step[0])
+                np.testing.assert_array_equal(step[0], single_step)
+                token = int(np.argmax(single_step))
+
+            # Decode donor and fork together: the batched path sees
+            # identical inputs on both engines, bit for bit.
+            token_a = int(np.argmax(logits_a))
+            for _ in range(3):
+                step = forked.decode_step([slot_a, slot_b],
+                                          [token_a, token])
+                ref_step = plain.decode_step([ref_a, ref_b],
+                                             [token_a, token])
+                np.testing.assert_array_equal(step, ref_step)
+                token_a = int(np.argmax(step[0]))
+                token = int(np.argmax(step[1]))
+
+    def test_fork_shares_and_cow_isolates_through_engine(self, micro_weights):
+        engine = build_batched_engine(micro_weights, max_batch_size=2,
+                                      paged=True, page_size=4,
+                                      prefix_sharing=True)
+        slot_a = engine.allocate_slot()
+        engine.prefill(slot_a, self.PROMPT_A)
+        slot_b = engine.fork_slot(slot_a, 8)          # 2 full pages shared
+        assert engine.cache.n_shared_pages == 2
+        assert slot_b.page_table[:2] == slot_a.page_table[:2]
+        engine.prefill(slot_b, self.SUFFIX)           # appends past prefix
+        assert slot_b.page_table[:2] == slot_a.page_table[:2]
+        engine.release_slot(slot_b)
+        assert engine.cache.n_shared_pages == 0
+        keys_a, _ = slot_a.view(0, 12)                # donor K/V intact
+        assert keys_a.any()
+
+    def test_prefix_sharing_requires_paged(self, micro_weights):
+        from repro.serving import BatchedEngine
+        with pytest.raises(ValueError, match="requires paged"):
+            BatchedEngine(micro_weights, max_batch_size=2,
+                          prefix_sharing=True)
+
+
+class TestSharedPrefixFootprint:
+    def test_pages_for_shared_prefix(self):
+        from repro.eval.memusage import pages_for_shared_prefix
+        # 3 requests of 40 positions sharing a 20-position prefix at
+        # page 16: one shared full page + 3 x (3 - 1) private pages.
+        assert pages_for_shared_prefix([40, 40, 40], 20, page_size=16) == 7
+        # Aligned prefix: 2 shared + 3 x 1 private.
+        assert pages_for_shared_prefix([40, 40, 40], 32, page_size=16) == 5
+        # No sharing degenerates to pages_for_lengths.
+        assert pages_for_shared_prefix([40, 40, 40], 0, page_size=16) == \
+            pages_for_lengths([40, 40, 40], page_size=16)
+        # No sequences -> no resident pages, shared prefix or not.
+        assert pages_for_shared_prefix([], 20, page_size=16) == 0
+        with pytest.raises(ValueError, match="below the shared"):
+            pages_for_shared_prefix([10], 20, page_size=16)
+
+    def test_comparison_matches_live_fork(self, micro_config):
+        """The accounting must equal what forked slots actually claim."""
+        from repro.eval.memusage import compare_shared_prefix_footprint
+        cache = PagedKVCache(micro_config, n_slots=3, max_seq_len=64,
+                             page_size=4, n_pages=32)
+        d = micro_config.d_model
+        donor = cache.allocate()
+        for pos in range(22):
+            for layer in range(micro_config.n_layers):
+                donor.append(layer, np.zeros(d), np.zeros(d), pos)
+            donor.advance()
+        forks = [cache.fork(donor, 10) for _ in range(2)]
+        for slot in forks:
+            for pos in range(10, 22):
+                for layer in range(micro_config.n_layers):
+                    slot.append(layer, np.zeros(d), np.zeros(d), pos)
+                slot.advance()
+        cmp = compare_shared_prefix_footprint(
+            micro_config, [22, 22, 22], shared_prefix=10, page_size=4
+        )
+        assert cache.n_pages_in_use == cmp.pages_shared
+        assert cmp.pages_unshared == 3 * 6
+        assert cmp.reduction_factor > 1.0
+        from repro.eval.memusage import format_shared_prefix_footprint
+        text = format_shared_prefix_footprint(cmp)
+        assert "prefix" in text and "x less" in text
+
+
 class TestPagedScheduler:
     def test_admission_gated_on_pages_still_drains_fifo(self, micro_weights):
         # 6 slots but only 4 pages of 4 positions: page demand, not slot

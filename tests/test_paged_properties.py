@@ -1,0 +1,238 @@
+"""Randomized property tests for the paged KV cache's fork/COW lifecycle.
+
+Drives :class:`PagePool` / :class:`PagedKVSlot` / :meth:`PagedKVCache.fork`
+through random interleavings of allocate / fork / append / rewrite /
+release against a pure-python model of the expected contents, asserting
+after every operation:
+
+* ``free + in_use == n_pages`` (no page is ever lost or double-counted);
+* ``0 <= reserved <= free`` (admission promises are always backable);
+* every page's refcount equals the number of live page tables mapping
+  it, and exactly the zero-refcount pages are on the free list;
+* releasing a forked slot never frees (or corrupts) a page its donor
+  still maps -- every surviving slot's K/V always matches the model.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.model.paged_kvcache import PagedKVCache
+
+N_SLOTS = 4
+N_PAGES = 10
+
+
+def check_invariants(cache: PagedKVCache, live: dict) -> None:
+    pool = cache.pool
+    assert pool.n_free_pages + pool.n_pages_in_use == pool.n_pages
+    assert 0 <= pool._reserved <= pool.n_free_pages
+    refs = Counter()
+    for slot, _ in live.values():
+        refs.update(slot.page_table)
+    for page in range(pool.n_pages):
+        assert pool.refcount(page) == refs.get(page, 0), (
+            f"page {page}: refcount {pool.refcount(page)} != "
+            f"{refs.get(page, 0)} table references"
+        )
+        assert (page in pool._free_set) == (refs.get(page, 0) == 0)
+    shared = sum(1 for page, n in refs.items() if n > 1)
+    assert pool.n_shared_pages == shared
+
+
+def check_contents(cache: PagedKVCache, live: dict, n_layers: int) -> None:
+    """Every live slot's K/V matches its model, on every layer."""
+    for slot, stamps in live.values():
+        if not stamps:
+            continue
+        for layer in range(n_layers):
+            keys, values = slot.view(layer, len(stamps))
+            np.testing.assert_array_equal(keys[:, 0], np.array(stamps))
+            np.testing.assert_array_equal(values[:, 0], -np.array(stamps))
+
+
+def write_position(slot, n_layers: int, d_model: int, position: int,
+                   stamp: float) -> None:
+    for layer in range(n_layers):
+        slot.append(layer, np.full(d_model, stamp),
+                    np.full(d_model, -stamp), position)
+
+
+@pytest.mark.parametrize("page_size", [1, 3, 4])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_interleavings_hold_invariants(micro_config, page_size, seed):
+    rng = np.random.default_rng(seed)
+    max_seq_len = page_size * 6
+    cache = PagedKVCache(micro_config, n_slots=N_SLOTS,
+                         max_seq_len=max_seq_len, page_size=page_size,
+                         n_pages=N_PAGES)
+    n_layers, d = micro_config.n_layers, micro_config.d_model
+    live: dict = {}               # slot index -> (slot, expected stamps)
+    stamp = 0.0
+
+    for op_index in range(150):
+        op = rng.choice(["allocate", "fork", "append", "rewrite", "release"])
+        if op == "allocate":
+            max_positions = int(rng.integers(0, max_seq_len + 1))
+            if cache.n_free == 0 or \
+                    (max_positions and not cache.can_admit(max_positions)):
+                with pytest.raises(RuntimeError):
+                    cache.allocate(max_positions)
+                continue
+            slot = cache.allocate(max_positions)
+            live[slot.index] = (slot, [])
+        elif op == "fork":
+            donors = [(s, st) for s, st in live.values() if s.length > 0]
+            if not donors:
+                continue
+            donor, donor_stamps = donors[int(rng.integers(len(donors)))]
+            shared = int(rng.integers(1, donor.length + 1))
+            max_positions = int(rng.choice([0, shared, max_seq_len]))
+            if not cache.can_fork(donor, shared, max_positions):
+                with pytest.raises((RuntimeError, ValueError)):
+                    cache.fork(donor, shared, max_positions)
+                continue
+            slot = cache.fork(donor, shared, max_positions)
+            assert slot.length == shared
+            live[slot.index] = (slot, list(donor_stamps[:shared]))
+        elif op == "append":
+            growable = [(s, st) for s, st in live.values()
+                        if s.length < max_seq_len]
+            if not growable:
+                continue
+            slot, stamps = growable[int(rng.integers(len(growable)))]
+            stamp += 1.0
+            try:
+                write_position(slot, n_layers, d, slot.length, stamp)
+            except RuntimeError:
+                continue          # pool exhausted / all free pages reserved
+            slot.advance()
+            stamps.append(stamp)
+        elif op == "rewrite":
+            writable = [(s, st) for s, st in live.values() if s.length > 0]
+            if not writable:
+                continue
+            slot, stamps = writable[int(rng.integers(len(writable)))]
+            position = int(rng.integers(slot.length))
+            stamp += 1.0
+            try:
+                # May land on a shared page: copy-on-write must detach
+                # this slot without touching the other mappers.
+                write_position(slot, n_layers, d, position, stamp)
+            except RuntimeError:
+                continue          # COW could not claim an unreserved page
+            stamps[position] = stamp
+        else:   # release
+            if not live:
+                continue
+            index = int(rng.choice(list(live)))
+            slot, _ = live.pop(index)
+            cache.release(slot)
+        check_invariants(cache, live)
+        if op_index % 10 == 0:
+            check_contents(cache, live, n_layers)
+
+    check_contents(cache, live, n_layers)
+    for slot, _ in list(live.values()):
+        cache.release(slot)
+    live.clear()
+    check_invariants(cache, live)
+    assert cache.n_pages_in_use == 0
+    assert cache.pool._reserved == 0
+
+
+def test_release_of_fork_keeps_donor_pages(micro_config):
+    """The named invariant, deterministically: forked release must not
+    free or alter any page the donor still maps."""
+    cache = PagedKVCache(micro_config, n_slots=2, max_seq_len=24,
+                         page_size=4, n_pages=12)
+    n_layers, d = micro_config.n_layers, micro_config.d_model
+    donor = cache.allocate()
+    for pos in range(10):
+        write_position(donor, n_layers, d, pos, float(pos + 1))
+        donor.advance()
+    fork = cache.fork(donor, 10)        # 2 full shared pages + 1 copied
+    donor_pages = list(donor.page_table)
+    cache.release(fork)
+    for page in donor_pages:
+        assert cache.pool.refcount(page) == 1
+        assert page not in cache.pool._free_set
+    keys, values = donor.view(0, 10)
+    np.testing.assert_array_equal(keys[:, 0], np.arange(1.0, 11.0))
+    np.testing.assert_array_equal(values[:, 0], -np.arange(1.0, 11.0))
+
+
+def test_cow_write_detaches_without_touching_donor(micro_config):
+    """A rewrite landing inside a shared full page copies first."""
+    cache = PagedKVCache(micro_config, n_slots=2, max_seq_len=16,
+                         page_size=4, n_pages=8)
+    n_layers, d = micro_config.n_layers, micro_config.d_model
+    donor = cache.allocate()
+    for pos in range(8):
+        write_position(donor, n_layers, d, pos, float(pos + 1))
+        donor.advance()
+    fork = cache.fork(donor, 8)          # page-aligned: both pages shared
+    assert cache.n_shared_pages == 2
+    shared_page = fork.page_table[0]
+    write_position(fork, n_layers, d, 1, 99.0)
+    assert fork.page_table[0] != shared_page          # detached
+    assert cache.pool.refcount(shared_page) == 1      # donor keeps it
+    assert cache.n_shared_pages == 1
+    donor_keys, _ = donor.view(0, 8)
+    fork_keys, _ = fork.view(0, 8)
+    assert donor_keys[1, 0] == 2.0
+    assert fork_keys[1, 0] == 99.0
+    np.testing.assert_array_equal(donor_keys[[0, 2, 3], 0],
+                                  fork_keys[[0, 2, 3], 0])
+
+
+def test_fork_reserves_only_unshared_worst_case(micro_config):
+    cache = PagedKVCache(micro_config, n_slots=3, max_seq_len=32,
+                         page_size=4, n_pages=10)
+    donor = cache.allocate(max_positions=12)          # reserves 3
+    n_layers, d = micro_config.n_layers, micro_config.d_model
+    for pos in range(12):
+        write_position(donor, n_layers, d, pos, 1.0)
+        donor.advance()
+    assert cache.n_available_pages == 7
+    # Fork sharing 8 aligned positions of a 16-position worst case:
+    # 4 total pages, 2 shared -> only 2 charged.
+    assert cache.fork_page_demand(8, 16) == 2
+    fork = cache.fork(donor, 8, max_positions=16)
+    assert cache.n_available_pages == 5
+    assert fork.n_pages == 2                          # shared pages only
+    assert cache.pool._reserved == 2
+    cache.release(fork)
+    assert cache.n_available_pages == 7
+
+
+def test_fork_validation_errors(micro_config):
+    cache = PagedKVCache(micro_config, n_slots=2, max_seq_len=16,
+                         page_size=4, n_pages=8)
+    other = PagedKVCache(micro_config, n_slots=1, max_seq_len=16,
+                         page_size=4, n_pages=4)
+    donor = cache.allocate()
+    n_layers, d = micro_config.n_layers, micro_config.d_model
+    for pos in range(5):
+        write_position(donor, n_layers, d, pos, 1.0)
+        donor.advance()
+    with pytest.raises(ValueError, match="different cache"):
+        other.fork(donor, 2)
+    with pytest.raises(ValueError, match="shared_positions"):
+        cache.fork(donor, 0)
+    with pytest.raises(ValueError, match="shared_positions"):
+        cache.fork(donor, 6)                          # beyond donor length
+    with pytest.raises(ValueError, match="below the shared"):
+        cache.fork(donor, 4, max_positions=3)
+    released = cache.fork(donor, 4)
+    cache.release(released)
+    with pytest.raises(ValueError, match="not allocated"):
+        cache.fork(released, 2)
+
+
+def test_share_free_page_rejected(micro_config):
+    cache = PagedKVCache(micro_config, n_slots=1, max_seq_len=16,
+                         page_size=4, n_pages=4)
+    with pytest.raises(ValueError, match="share free page"):
+        cache.pool._share_page(0)

@@ -19,6 +19,8 @@ from repro.model.kvcache import BatchedKVCache
 from repro.serving import (
     BatchedEngine,
     ContinuousBatchingScheduler,
+    EmptyQueueError,
+    PrefixIndex,
     Request,
     RequestQueue,
 )
@@ -387,6 +389,242 @@ class TestScheduler:
             list(range(len(PROMPTS)))
         with pytest.raises(IndexError):
             queue.pop()
+
+
+class TestEmptyQueueError:
+    def test_typed_error_on_empty_access(self):
+        queue = RequestQueue()
+        with pytest.raises(EmptyQueueError):
+            queue.pop()
+        with pytest.raises(EmptyQueueError):
+            queue.peek()
+        with pytest.raises(EmptyQueueError):
+            queue.pop_at(0)
+        # Subclass: existing except-IndexError callers keep working.
+        assert issubclass(EmptyQueueError, IndexError)
+
+    def test_window_and_pop_at(self):
+        queue = RequestQueue()
+        for request in make_requests():
+            queue.submit(request)
+        assert [r.request_id for r in queue.window(3)] == [0, 1, 2]
+        assert [r.request_id for r in queue.window(100)] == \
+            list(range(len(PROMPTS)))
+        with pytest.raises(ValueError):
+            queue.window(0)
+        assert queue.pop_at(2).request_id == 2
+        assert queue.pop_at(0).request_id == 0
+        assert [r.request_id for r in queue.window(10)] == [1, 3, 4, 5]
+        # Out-of-range / negative indices on a non-empty queue are caller
+        # bugs: plain IndexError, never the EmptyQueueError drain loops
+        # treat as benign.
+        with pytest.raises(IndexError) as exc:
+            queue.pop_at(4)
+        assert not isinstance(exc.value, EmptyQueueError)
+        with pytest.raises(IndexError) as exc:
+            queue.pop_at(-1)
+        assert not isinstance(exc.value, EmptyQueueError)
+        assert len(queue) == 4                 # nothing silently popped
+
+    def test_bookkeeping_bug_is_not_swallowed_as_empty(self, micro_weights):
+        """The drain loop catches EmptyQueueError only: a bare
+        IndexError from a buggy queue must crash, not read as idle."""
+        class BuggyQueue(RequestQueue):
+            def peek(self):
+                raise IndexError("admission bookkeeping bug")
+
+            def __bool__(self):
+                return True
+
+        engine = build_batched_engine(micro_weights, max_batch_size=1)
+        scheduler = ContinuousBatchingScheduler(engine, queue=BuggyQueue())
+        with pytest.raises(IndexError, match="bookkeeping bug"):
+            scheduler.step()
+
+    def test_empty_queue_reads_as_idle(self, micro_weights):
+        engine = build_batched_engine(micro_weights, max_batch_size=1)
+        scheduler = ContinuousBatchingScheduler(engine)
+        assert scheduler.step() == []          # no crash, nothing admitted
+        assert scheduler.idle
+
+
+class TestPrefixIndex:
+    def test_insert_lookup_longest_and_cap(self):
+        index = PrefixIndex(page_size=4)
+        index.insert(0, (1, 2, 3, 4, 5, 6, 7, 8))
+        index.insert(1, (1, 2, 3, 4, 9, 9, 9, 9))
+        # Longest sharer wins; extension runs past the aligned boundary.
+        slot, shared = index.lookup((1, 2, 3, 4, 5, 6, 7, 8, 7))
+        assert (slot, shared) == (0, 8)
+        # The last prompt token is never shared (logits must come from
+        # a real prefill).
+        slot, shared = index.lookup((1, 2, 3, 4, 5, 6, 7, 8))
+        assert (slot, shared) == (0, 7)
+        slot, shared = index.lookup((1, 2, 3, 4, 9, 9, 2))
+        assert (slot, shared) == (1, 6)
+
+    def test_sub_page_prompts_never_match(self):
+        index = PrefixIndex(page_size=8)
+        index.insert(0, (1, 2, 3, 4, 5, 6, 7, 8))
+        assert index.lookup((1, 2, 3, 4)) == (None, 0)
+        index_small = PrefixIndex(page_size=8)
+        index_small.insert(1, (1, 2, 3))       # prompt shorter than a page
+        assert index_small.lookup((1, 2, 3, 4, 5, 6, 7, 8, 9)) == (None, 0)
+
+    def test_remove_unregisters_all_buckets(self):
+        index = PrefixIndex(page_size=2)
+        index.insert(0, (1, 2, 3, 4, 5, 6))
+        index.remove(0)
+        assert index.lookup((1, 2, 3, 4, 5, 6, 7)) == (None, 0)
+        assert len(index) == 0
+        assert index._buckets == {}
+        index.remove(0)                        # idempotent
+        index.insert(0, (1, 2, 3, 4))
+        with pytest.raises(ValueError, match="already indexed"):
+            index.insert(0, (9, 9))
+
+
+def shared_prefix_requests(base, n, prefix_len, suffix_len=1,
+                           max_new_tokens=4, start_id=0):
+    """Requests whose prompts all share ``base[:prefix_len]``."""
+    out = []
+    for i in range(n):
+        suffix = tuple(2 + ((i + j) % 7) for j in range(suffix_len))
+        out.append(Request(request_id=start_id + i,
+                           prompt_ids=tuple(base[:prefix_len]) + suffix,
+                           max_new_tokens=max_new_tokens))
+    return out
+
+
+class TestCorrelationAwareScheduler:
+    BASE = (1, 4, 2, 7, 3, 5, 6, 2, 9, 1, 3, 8)
+
+    def test_sharing_keeps_tokens_identical(self, micro_weights):
+        requests = shared_prefix_requests(self.BASE, 5, 8, suffix_len=2,
+                                          max_new_tokens=5)
+        outs = []
+        for sharing, window in ((False, 0), (True, 4)):
+            engine = build_batched_engine(
+                micro_weights, max_batch_size=3, paged=True, page_size=4,
+                prefix_sharing=sharing,
+            )
+            scheduler = ContinuousBatchingScheduler(
+                engine, reorder_window=window
+            )
+            for request in requests:
+                scheduler.submit(request)
+            report = scheduler.run()
+            outs.append((report,
+                         {c.request_id: c.generated_ids
+                          for c in report.completions}))
+        (plain_report, plain), (shared_report, shared) = outs
+        assert plain == shared
+        assert shared_report.forked_admissions > 0
+        assert shared_report.prefill_tokens_saved > 0
+        # Saved + run prefill covers exactly the same prompt positions.
+        assert shared_report.prefill_tokens + \
+            shared_report.prefill_tokens_saved == plain_report.prefill_tokens
+        assert shared_report.peak_shared_pages > 0
+        assert shared_report.intersection_skip >= 0.0
+        assert shared_report.expected_uncorrelated_skip <= \
+            shared_report.mean_sequence_skip + 1e-9
+
+    def test_reorder_window_never_starves_head(self, micro_weights):
+        """The FIFO head is bypassed at most ``window - 1`` times."""
+        window = 3
+        donor = Request(request_id=0, prompt_ids=self.BASE[:8],
+                        max_new_tokens=9)                 # 4 pages of 4
+        head = Request(request_id=1,
+                       prompt_ids=(9,) * 12, max_new_tokens=13)  # 6 pages
+        sharers = shared_prefix_requests(self.BASE, 5, 8, max_new_tokens=8,
+                                         start_id=2)      # forks: 2 pages
+        engine = build_batched_engine(
+            micro_weights, max_batch_size=8, max_seq_len=32, paged=True,
+            page_size=4, n_pages=8, prefix_sharing=True,
+        )
+        scheduler = ContinuousBatchingScheduler(engine,
+                                                reorder_window=window)
+        for request in [donor, head] + sharers:
+            scheduler.submit(request)
+        report = scheduler.run()
+        by_id = {c.request_id: c for c in report.completions}
+        assert all(by_id[i].ok for i in range(len(by_id)))
+        # The head (request 1) never fits while the donor runs, so
+        # sharers may jump it -- but at most window - 1 = 2 of them.
+        jumped = [i for i in range(2, 7)
+                  if by_id[i].admitted_step < by_id[1].admitted_step]
+        assert 1 <= len(jumped) <= window - 1
+        assert report.forked_admissions >= 2
+        # Every sharer admitted after the bound waited behind the head.
+        assert max(by_id[i].admitted_step for i in range(2, 7)) > \
+            by_id[1].admitted_step
+
+    def test_strict_fifo_when_window_disabled(self, micro_weights):
+        requests = shared_prefix_requests(self.BASE, 6, 8, max_new_tokens=6)
+        engine = build_batched_engine(
+            micro_weights, max_batch_size=2, paged=True, page_size=4,
+            prefix_sharing=True,
+        )
+        scheduler = ContinuousBatchingScheduler(engine)   # window = 0
+        for request in requests:
+            scheduler.submit(request)
+        report = scheduler.run()
+        by_id = {c.request_id: c for c in report.completions}
+        admitted = [by_id[i].admitted_step for i in range(len(requests))]
+        assert admitted == sorted(admitted)
+        # FIFO still forks off resident donors when the head shares.
+        assert report.forked_admissions > 0
+
+    def test_reservations_never_overcommit_with_forks(self, micro_weights):
+        """After every tick: reserved <= free pages, nothing negative."""
+        requests = shared_prefix_requests(self.BASE, 8, 8, suffix_len=3,
+                                          max_new_tokens=7)
+        engine = build_batched_engine(
+            micro_weights, max_batch_size=4, max_seq_len=32, paged=True,
+            page_size=4, n_pages=10, prefix_sharing=True,
+        )
+        scheduler = ContinuousBatchingScheduler(engine, reorder_window=4)
+        for request in requests:
+            scheduler.submit(request)
+        pool = engine.cache.pool
+        steps = 0
+        while not scheduler.idle:
+            scheduler.step()
+            steps += 1
+            assert steps < 500
+            assert 0 <= pool._reserved <= pool.n_free_pages
+            assert pool.n_available_pages >= 0
+            assert pool.n_pages_in_use <= pool.n_pages
+        report = scheduler.report
+        assert len(report.completions) == len(requests)
+        assert pool._reserved == 0 and pool.n_pages_in_use == 0
+        assert engine.n_free_slots == 4
+
+    def test_released_donor_is_no_longer_matched(self, micro_weights):
+        engine = build_batched_engine(
+            micro_weights, max_batch_size=2, paged=True, page_size=4,
+            prefix_sharing=True,
+        )
+        slot = engine.allocate_slot()
+        engine.prefill(slot, self.BASE[:8])
+        engine.register_prefix(slot, self.BASE[:8])
+        donor, shared = engine.find_prefix_donor(self.BASE[:8] + (5,))
+        assert donor is slot and shared == 8
+        engine.release_slot(slot)
+        assert engine.find_prefix_donor(self.BASE[:8] + (5,)) == (None, 0)
+
+    def test_reorder_window_validation(self, micro_weights):
+        engine = build_batched_engine(micro_weights, max_batch_size=1)
+        with pytest.raises(ValueError, match="reorder_window"):
+            ContinuousBatchingScheduler(engine, reorder_window=-1)
+
+    def test_common_prefix_len(self):
+        request = Request(request_id=0, prompt_ids=(1, 2, 3, 4),
+                          max_new_tokens=1)
+        assert request.common_prefix_len((1, 2, 3, 4, 5)) == 4
+        assert request.common_prefix_len((1, 2, 9)) == 2
+        assert request.common_prefix_len(np.array([1, 2, 3, 4])) == 4
+        assert request.common_prefix_len(()) == 0
 
 
 class TestServingMetrics:
