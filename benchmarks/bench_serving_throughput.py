@@ -15,6 +15,7 @@ per-sequence sparsity (the intersection decays toward zero) for
 weight-read amortisation, with batch 4 at least 2x sequential throughput.
 """
 
+import json
 import os
 from pathlib import Path
 
@@ -128,6 +129,41 @@ def check_sweep(baseline, points, analytic) -> None:
     )
 
 
+def _measurement_json(m) -> dict:
+    """ServingMeasurement -> plain dict for the machine-readable dump."""
+    return {
+        "label": m.label,
+        "max_batch_size": m.max_batch_size,
+        "tokens_generated": m.tokens_generated,
+        "prefill_seconds": m.prefill_seconds,
+        "decode_seconds": m.decode_seconds,
+        "tokens_per_second": m.tokens_per_second,
+        "mean_batch_occupancy": m.mean_batch_occupancy,
+        "intersection_skip": m.intersection_skip,
+        "sequence_skip": m.sequence_skip,
+    }
+
+
+def write_json(baseline, points, analytic) -> Path:
+    """Machine-readable sweep results (perf trajectory across commits)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "serving_throughput.json"
+    payload = {
+        "benchmark": "serving_throughput",
+        "n_requests": N_REQUESTS,
+        "max_new_tokens": MAX_NEW_TOKENS,
+        "baseline": _measurement_json(baseline),
+        "points": [
+            {**_measurement_json(p),
+             "speedup_over_sequential": p.speedup_over(baseline),
+             "analytic_skip": analytic[i]}
+            for i, p in enumerate(points)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
 def main() -> int:
     baseline, points, analytic = run_sweep()
     lines = [
@@ -146,6 +182,8 @@ def main() -> int:
           "(batch-4 speedup >= 2x, intersection tracks skip^B)")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "serving_throughput.txt").write_text(text + "\n")
+    path = write_json(baseline, points, analytic)
+    print(f"JSON -> {path}")
     return 0
 
 
@@ -153,6 +191,7 @@ def test_serving_throughput_sweep():
     """Pytest entry point mirroring the script run."""
     baseline, points, analytic = run_sweep()
     check_sweep(baseline, points, analytic)
+    write_json(baseline, points, analytic)
 
 
 if __name__ == "__main__":

@@ -19,11 +19,14 @@ if [ "$#" -eq 0 ]; then
         tests/test_paged_properties.py
 fi
 # Slow smokes of the paged-KV benchmark (equal-budget >= 2x concurrency
-# and batch=1 bit-identity) and the prefix-sharing benchmark (>= 1.5x
+# and batch=1 bit-identity), the prefix-sharing benchmark (>= 1.5x
 # concurrency from forked admission, intersection decays slower than
-# skip^B); opt in because they decode real workloads.
+# skip^B), and the batched-attention benchmark (decode-step win at
+# batch >= 4, >= 2x chunked-prefill win, tokens identical; JSON into
+# benchmarks/results/); opt in because they decode real workloads.
 if [ "${CHECK_SLOW:-0}" = "1" ]; then
     PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q \
         -m slow -p no:cacheprovider benchmarks/bench_paged_kv.py \
-        benchmarks/bench_prefix_sharing.py
+        benchmarks/bench_prefix_sharing.py \
+        benchmarks/bench_batched_attention.py
 fi

@@ -99,6 +99,9 @@ def build_batched_engine(
     page_size: int = 16,
     n_pages: int = 0,
     prefix_sharing: bool = False,
+    batched_attention: bool = False,
+    attn_bucket_min_fill: float = 0.5,
+    prefill_chunk: int = 0,
 ):
     """A serving-grade batched SparseInfer engine.
 
@@ -107,11 +110,16 @@ def build_batched_engine(
     page arena -- see :mod:`repro.model.paged_kvcache`; ``n_pages``
     caps the total KV memory budget; ``prefix_sharing=True`` lets
     admissions fork a resident sequence's refcounted pages instead of
-    re-prefilling a shared prompt prefix).  Returns a
-    :class:`repro.serving.engine.BatchedEngine`: per-sequence KV slots,
-    dense per-sequence prefill, batched sparse decode exploiting the
-    cross-sequence intersection of predicted skip sets (imported lazily --
-    :mod:`repro.serving` builds on this module).
+    re-prefilling a shared prompt prefix).  ``batched_attention=True``
+    computes decode attention once for the whole batch (padded K/V
+    stack + length mask, bucketed by ``attn_bucket_min_fill`` -- see
+    :mod:`repro.model.batch_attention`), and ``prefill_chunk > 0``
+    vectorises prompt prefill into causal chunks of that many tokens;
+    both are token-identical to the scalar loops they replace.  Returns
+    a :class:`repro.serving.engine.BatchedEngine`: per-sequence KV
+    slots, dense per-sequence prefill, batched sparse decode exploiting
+    the cross-sequence intersection of predicted skip sets (imported
+    lazily -- :mod:`repro.serving` builds on this module).
     """
     from ..serving.engine import BatchedEngine
 
@@ -125,4 +133,7 @@ def build_batched_engine(
         page_size=page_size,
         n_pages=n_pages,
         prefix_sharing=prefix_sharing,
+        batched_attention=batched_attention,
+        attn_bucket_min_fill=attn_bucket_min_fill,
+        prefill_chunk=prefill_chunk,
     )

@@ -184,6 +184,11 @@ class ServingMeasurement:
     forked_admissions: int = 0
     prefill_tokens_saved: int = 0
     peak_occupancy: int = 0
+    # Non-zero only when the engine ran batched_attention=True: the
+    # fraction of gathered K/V cells the length masks discarded, and
+    # the mean length-bucket count per batched decode step.
+    attn_padding_waste: float = 0.0
+    mean_attn_buckets: float = 0.0
 
     @property
     def wall_seconds(self) -> float:
@@ -212,14 +217,18 @@ def measure_batched_serving(
     n_pages: int = 0,
     prefix_sharing: bool = False,
     reorder_window: int = 0,
+    batched_attention: bool = False,
+    attn_bucket_min_fill: float = 0.5,
+    prefill_chunk: int = 0,
 ) -> ServingMeasurement:
     """Drain ``requests`` through a batched engine and measure throughput.
 
     ``requests`` is a sequence of :class:`repro.serving.Request`; a fresh
     engine/scheduler pair is built per call so measurements are
-    independent.  The paged/prefix-sharing knobs mirror
-    :func:`repro.core.engine.build_batched_engine` and the scheduler's
-    ``reorder_window`` (correlation-aware admission).
+    independent.  The paged/prefix-sharing/batched-attention/chunked-
+    prefill knobs mirror :func:`repro.core.engine.build_batched_engine`
+    and the scheduler's ``reorder_window`` (correlation-aware
+    admission).
     """
     from ..core.engine import build_batched_engine
     from ..serving.scheduler import ContinuousBatchingScheduler
@@ -229,6 +238,9 @@ def measure_batched_serving(
         max_batch_size=max_batch_size,
         paged=paged, page_size=page_size, n_pages=n_pages,
         prefix_sharing=prefix_sharing,
+        batched_attention=batched_attention,
+        attn_bucket_min_fill=attn_bucket_min_fill,
+        prefill_chunk=prefill_chunk,
     )
     scheduler = ContinuousBatchingScheduler(
         engine, reorder_window=reorder_window
@@ -240,6 +252,10 @@ def measure_batched_serving(
     label = f"batched(B<={max_batch_size})"
     if prefix_sharing:
         label += "+prefix"
+    if batched_attention:
+        label += "+battn"
+    if prefill_chunk:
+        label += f"+chunk{prefill_chunk}"
     return ServingMeasurement(
         label=label,
         max_batch_size=max_batch_size,
@@ -256,6 +272,8 @@ def measure_batched_serving(
         forked_admissions=report.forked_admissions,
         prefill_tokens_saved=report.prefill_tokens_saved,
         peak_occupancy=report.peak_occupancy,
+        attn_padding_waste=report.attn_padding_waste,
+        mean_attn_buckets=report.mean_attn_buckets,
     )
 
 

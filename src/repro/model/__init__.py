@@ -7,6 +7,7 @@ from .config import (
     tiny_7b_role,
     tiny_13b_role,
 )
+from .batch_attention import AttentionTelemetry, BatchedAttention, length_buckets
 from .inference import InferenceModel, MLPTrace
 from .kvcache import BatchedKVCache, KVCache
 from .mlp import DenseMLP, MLPStats

@@ -21,7 +21,7 @@ from .config import ModelConfig
 from .kvcache import KVCache
 from .mlp import DenseMLP, MLPExecutor
 from .norm import rmsnorm
-from .rope import apply_rope, rope_tables
+from .rope import apply_rope, rope_for_position
 from .weights import ModelWeights
 
 
@@ -50,7 +50,7 @@ def attend_single(
     """
     n_heads, head_dim = config.n_heads, config.head_dim
     if rope is None:
-        rope = rope_tables(np.array([position]), head_dim, config.rope_theta)
+        rope = rope_for_position(position, head_dim, config.rope_theta)
     cos, sin = rope
     q = apply_rope(q.reshape(n_heads, 1, head_dim), cos, sin).reshape(n_heads, head_dim)
     k = apply_rope(k.reshape(n_heads, 1, head_dim), cos, sin).reshape(-1)

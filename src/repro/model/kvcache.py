@@ -96,6 +96,41 @@ class KVSlot:
         self.length = 0
 
 
+class FixedBatchView:
+    """Padded batched K/V gather over a :class:`BatchedKVCache`.
+
+    ``gather(layer)`` returns ``(keys, values)`` of shape
+    ``(B, l_max, d_model)`` -- each row is one slot's K/V, rows shorter
+    than ``l_max`` padded with whatever the arena holds past their
+    length (callers mask by :attr:`lengths`).  When the batch occupies
+    a consecutive run of slot indices (the common case: allocation
+    always pops the lowest free index) the gather is a **zero-copy
+    basic slice** of the pooled array; scattered slots fall back to one
+    fancy index on the slot axis.
+    """
+
+    def __init__(self, cache: "BatchedKVCache", slots, lengths):
+        self._cache = cache
+        indices = [slot.index for slot in slots]
+        self._indices = np.asarray(indices)
+        self.lengths = np.asarray(lengths)
+        self.l_max = int(self.lengths.max())
+        self._run_start = None
+        if indices == list(range(indices[0], indices[0] + len(indices))):
+            self._run_start = indices[0]
+
+    def gather(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        cache, l_max = self._cache, self.l_max
+        if self._run_start is not None:
+            start = self._run_start
+            stop = start + len(self._indices)
+            return (cache.keys[start:stop, layer, :l_max],
+                    cache.values[start:stop, layer, :l_max])
+        idx = self._indices
+        return (cache.keys[idx, layer, :l_max],
+                cache.values[idx, layer, :l_max])
+
+
 class BatchedKVCache:
     """Fixed pool of per-sequence KV slots for batched decoding.
 
@@ -146,6 +181,10 @@ class BatchedKVCache:
         the caller's capacity check).
         """
         return bool(self._free)
+
+    def view_batch(self, slots, lengths) -> FixedBatchView:
+        """Padded ``(B, l_max, d_model)`` K/V gather for a decode batch."""
+        return FixedBatchView(self, slots, lengths)
 
     def allocate(self, max_positions: int = 0) -> KVSlot:
         """Claim a free slot (reset to length 0).

@@ -89,3 +89,18 @@ class DenseMLP:
         self.stats.calls += 1
         self.stats.rows_total += lw.w_gate_rows.shape[0]
         return h3 @ lw.w_down_rows
+
+    def run_tokens(self, layer: int, xs: np.ndarray) -> np.ndarray:
+        """One layer's MLP for ``(T, d)`` token inputs as three GEMMs.
+
+        The chunked-prefill path: same math as ``run`` row by row, one
+        weight read for the whole chunk.  Stats account per token, so
+        chunked and token-by-token prefill report identical work.
+        """
+        lw = self.weights.layers[layer]
+        h1 = self._act(xs @ lw.w_gate_rows.T)
+        h2 = xs @ lw.w_up_rows.T
+        h3 = h1 * h2
+        self.stats.calls += xs.shape[0]
+        self.stats.rows_total += xs.shape[0] * lw.w_gate_rows.shape[0]
+        return h3 @ lw.w_down_rows

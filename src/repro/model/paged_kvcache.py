@@ -215,6 +215,11 @@ class PagedKVSlot:
         self.page_table: list = []
         self.length = 0
         self._reservation_left = 0
+        # Bumped whenever an *existing* page-table entry can change
+        # (reset, copy-on-write retarget).  Pure appends leave it alone,
+        # which is what lets batched-gather plans extend incrementally
+        # instead of re-reading the table every decode step.
+        self.generation = 0
 
     @property
     def n_pages(self) -> int:
@@ -255,6 +260,7 @@ class PagedKVSlot:
         pool.values[new] = pool.values[old]
         pool._release_pages([old])
         self.page_table[table_index] = new
+        self.generation += 1
         return new
 
     def append(self, layer: int, k: np.ndarray, v: np.ndarray,
@@ -318,6 +324,99 @@ class PagedKVSlot:
             self._pool._cancel_reservation(self._reservation_left)
             self._reservation_left = 0
         self.length = 0
+        self.generation += 1
+
+
+class _SlotGatherPlan:
+    """Cached page-index array for one slot, extended append-only.
+
+    A decode step only ever *appends* positions, so between steps a
+    slot's page table changes by at most one trailing entry; the plan
+    keeps a numpy copy of the table and syncs just the new tail.  The
+    slot's :attr:`~PagedKVSlot.generation` counter guards the cases
+    where existing entries *can* change (reset, copy-on-write): a bump
+    rebuilds the plan from scratch.
+    """
+
+    __slots__ = ("generation", "n_pages", "pages")
+
+    def __init__(self):
+        self.generation = -1
+        self.n_pages = 0
+        self.pages = np.empty(4, dtype=np.intp)
+
+    def sync(self, slot: "PagedKVSlot", needed: int) -> np.ndarray:
+        """The slot's first ``needed`` page indices as an array view."""
+        if needed > len(slot.page_table):
+            raise ValueError(
+                f"gather of {needed} pages but only "
+                f"{len(slot.page_table)} pages appended"
+            )
+        if self.generation != slot.generation:
+            self.generation = slot.generation
+            self.n_pages = 0
+        if needed > self.n_pages:
+            if needed > len(self.pages):
+                grown = np.empty(max(needed, 2 * len(self.pages)),
+                                 dtype=np.intp)
+                grown[:self.n_pages] = self.pages[:self.n_pages]
+                self.pages = grown
+            self.pages[self.n_pages:needed] = \
+                slot.page_table[self.n_pages:needed]
+            self.n_pages = needed
+        return self.pages[:needed]
+
+
+class PagedBatchView:
+    """Padded batched K/V gather over a :class:`PagePool`.
+
+    Built from per-slot gather plans: a ``(B, p_max)`` page-index
+    matrix, rows padded with page 0 (padded positions land at or past
+    each row's length, so callers' length masks hide them -- whatever
+    data page 0 holds never contributes).  ``gather(layer)`` turns it
+    into ``(B, l_max, d_model)`` K/V with **one** arena index per layer
+    instead of B page-table walks.
+
+    Reuses :meth:`PagedKVSlot.view`'s contiguous-run detection at batch
+    granularity: when the padded matrix happens to enumerate one
+    consecutive arena run row-major (common early in a drain, when
+    equal-length sequences claimed consecutive pages), the gather uses
+    a basic slice instead of a fancy index.  Both paths copy -- the
+    layer axis sits between the page and position axes, so the reshape
+    must materialise -- but the slice path skips the index-array
+    machinery (~10% faster at decode shapes), same as the run path of
+    the single-sequence ``view``.
+    """
+
+    def __init__(self, pool: PagePool, rows, lengths):
+        self._pool = pool
+        self.lengths = np.asarray(lengths)
+        self.l_max = int(self.lengths.max())
+        p_max = max(len(row) for row in rows)
+        mat = np.zeros((len(rows), p_max), dtype=np.intp)
+        for i, row in enumerate(rows):
+            mat[i, :len(row)] = row
+        self._mat = mat
+        flat = mat.ravel()
+        self._contig_start = None
+        if flat[-1] - flat[0] == flat.size - 1 and \
+                np.array_equal(flat, np.arange(flat[0], flat[-1] + 1)):
+            self._contig_start = int(flat[0])
+
+    def gather(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        pool = self._pool
+        B, p_max = self._mat.shape
+        width = p_max * pool.page_size
+        d_model = pool.config.d_model
+        if self._contig_start is not None:
+            start, stop = self._contig_start, self._contig_start + B * p_max
+            keys = pool.keys[start:stop, layer]
+            values = pool.values[start:stop, layer]
+        else:
+            keys = pool.keys[self._mat, layer]      # (B, p_max, ps, d)
+            values = pool.values[self._mat, layer]
+        return (keys.reshape(B, width, d_model)[:, :self.l_max],
+                values.reshape(B, width, d_model)[:, :self.l_max])
 
 
 class PagedKVCache:
@@ -347,6 +446,7 @@ class PagedKVCache:
                        for i in range(n_slots)]
         self._free = list(range(n_slots - 1, -1, -1))   # pop() -> lowest index
         self._free_set = set(range(n_slots))
+        self._gather_plans = [_SlotGatherPlan() for _ in range(n_slots)]
 
     # -- pool passthroughs -------------------------------------------------
 
@@ -389,6 +489,22 @@ class PagedKVCache:
     def can_admit(self, n_positions: int) -> bool:
         """Whether a worst-case ``n_positions`` request fits right now."""
         return bool(self._free) and self.pool.can_reserve(n_positions)
+
+    def view_batch(self, slots, lengths) -> PagedBatchView:
+        """Padded ``(B, l_max, d_model)`` K/V gather for a decode batch.
+
+        The per-slot page-index arrays come from cached
+        :class:`_SlotGatherPlan` objects, so between decode steps only
+        newly-appended pages are read from the python page tables; the
+        returned view performs one arena gather per layer.
+        """
+        rows = [
+            self._gather_plans[slot.index].sync(
+                slot, self.pool.pages_for(int(length))
+            )
+            for slot, length in zip(slots, lengths)
+        ]
+        return PagedBatchView(self.pool, rows, lengths)
 
     # -- slot management ---------------------------------------------------
 

@@ -33,12 +33,17 @@ import numpy as np
 
 from ..core.engine import SparseInferSettings
 from ..core.predictor import SparseInferPredictor
+from ..model.batch_attention import (
+    DEFAULT_BUCKET_MIN_FILL,
+    AttentionTelemetry,
+    BatchedAttention,
+)
 from ..model.inference import attend_single, forward_token_single
 from ..model.kvcache import BatchedKVCache, KVSlot
 from ..model.paged_kvcache import DEFAULT_PAGE_SIZE, PagedKVCache
 from ..model.mlp import DenseMLP, MLPExecutor
 from ..model.norm import rmsnorm
-from ..model.rope import rope_tables
+from ..model.rope import apply_rope, rope_for_position, rope_tables
 from ..model.weights import ModelWeights
 from .batch_mlp import BatchedSparseInferMLP
 
@@ -166,6 +171,24 @@ class BatchedEngine:
         admissions to fork a resident sequence's KV pages
         (copy-on-write) instead of re-prefilling a shared prefix.
         Requires ``paged=True``.
+    batched_attention:
+        Compute decode attention for the whole batch at once
+        (:class:`~repro.model.batch_attention.BatchedAttention`: padded
+        K/V stack + length mask, length-bucketed) instead of looping
+        :func:`attend_single` per sequence.  Token-identical at any
+        batch size; batch = 1 always takes the scalar path, which stays
+        bit-identical to :func:`repro.core.engine.build_engine`.
+    attn_bucket_min_fill:
+        Bucketing knob for batched attention: sequences join a length
+        bucket while their length is at least this fraction of the
+        bucket maximum (0 = one bucket, 1 = equal lengths only).
+    prefill_chunk:
+        When > 0, run prompt prefill through each layer as causal
+        ``(chunk, d)`` passes (one GEMM per projection) instead of
+        token-by-token scalar passes -- admission cost drops from
+        ``T`` sequential token steps to ``ceil(T / chunk)`` matrix
+        steps.  0 keeps the scalar loop (bit-identical to the
+        single-sequence engine); chunked prefill is token-identical.
     """
 
     def __init__(
@@ -179,6 +202,9 @@ class BatchedEngine:
         page_size: int = DEFAULT_PAGE_SIZE,
         n_pages: int = 0,
         prefix_sharing: bool = False,
+        batched_attention: bool = False,
+        attn_bucket_min_fill: float = DEFAULT_BUCKET_MIN_FILL,
+        prefill_chunk: int = 0,
     ):
         weights.validate()
         self.weights = weights
@@ -218,6 +244,20 @@ class BatchedEngine:
             PrefixIndex(self.cache.page_size) if prefix_sharing else None
         )
         self._resident: dict = {}          # slot index -> live slot handle
+        if prefill_chunk < 0:
+            raise ValueError(
+                f"prefill_chunk must be >= 0, got {prefill_chunk}"
+            )
+        self.prefill_chunk = prefill_chunk
+        self.batched_attention = batched_attention
+        self.attention = BatchedAttention(
+            self.config, bucket_min_fill=attn_bucket_min_fill
+        )
+
+    @property
+    def attn_telemetry(self) -> AttentionTelemetry:
+        """Padding-waste / bucketing counters of the batched-attention path."""
+        return self.attention.telemetry
 
     # -- slot management ---------------------------------------------------
 
@@ -293,7 +333,7 @@ class BatchedEngine:
         """One token through one sequence -- the InferenceModel op sequence."""
         cfg = self.config
         position = slot.length
-        rope = rope_tables(np.array([position]), cfg.head_dim, cfg.rope_theta)
+        rope = rope_for_position(position, cfg.head_dim, cfg.rope_theta)
         logits = forward_token_single(
             self.weights, token_id, position, slot, mlp, rope=rope,
         )
@@ -301,15 +341,87 @@ class BatchedEngine:
         return logits
 
     def prefill(self, slot: KVSlot, prompt_ids: Sequence[int]) -> np.ndarray:
-        """Run a prompt into a slot; returns last-position logits."""
+        """Run a prompt into a slot; returns last-position logits.
+
+        With ``prefill_chunk > 0`` the prompt advances in vectorised
+        causal chunks (token-identical); otherwise token by token
+        through the exact single-sequence op sequence (bit-identical).
+        """
         # len(), not truthiness: a numpy-array prompt satisfies the
         # Sequence[int] annotation but raises on bool().
         if len(prompt_ids) == 0:
             raise ValueError("prefill needs at least one token")
+        if self.prefill_chunk > 0:
+            chunk = self.prefill_chunk
+            ids = [int(tok) for tok in prompt_ids]
+            logits = None
+            for start in range(0, len(ids), chunk):
+                logits = self._forward_chunk(ids[start:start + chunk], slot)
+            return logits
         logits = None
         for tok in prompt_ids:
             logits = self._forward_single(int(tok), slot, self.prefill_mlp)
         return logits
+
+    def _forward_chunk(self, token_ids: list, slot: KVSlot) -> np.ndarray:
+        """One causal ``(T, d)`` pass over a prompt chunk.
+
+        Runs every layer as whole-chunk GEMMs: QKV/output projections
+        over the ``(T, d)`` chunk, causal-masked attention of the chunk
+        queries against the growing cache (prior positions plus the
+        chunk itself), and the chunk-capable MLP executor when the
+        prefill executor provides one (executors without ``run_tokens``
+        fall back to a per-row loop -- the GEMM-heavy attention path
+        still dominates the win).  Returns last-position logits.
+        """
+        cfg = self.config
+        n_heads, head_dim = cfg.n_heads, cfg.head_dim
+        base = slot.length
+        n_tokens = len(token_ids)
+        total = base + n_tokens
+        positions = np.arange(base, total)
+        cos, sin = rope_tables(positions, head_dim, cfg.rope_theta)
+        run_tokens = getattr(self.prefill_mlp, "run_tokens", None)
+        x = self.weights.tok_embed[token_ids].astype(np.float32)
+        for layer in range(cfg.n_layers):
+            lw = self.weights.layers[layer]
+            attn_in = rmsnorm(x, lw.attn_norm, cfg.norm_eps)
+            q = attn_in @ lw.wq
+            k = attn_in @ lw.wk
+            v = attn_in @ lw.wv
+            qh = apply_rope(
+                q.reshape(n_tokens, n_heads, head_dim).transpose(1, 0, 2),
+                cos, sin,
+            )                                            # (h, T, hd)
+            kh = apply_rope(
+                k.reshape(n_tokens, n_heads, head_dim).transpose(1, 0, 2),
+                cos, sin,
+            )
+            k_flat = kh.transpose(1, 0, 2).reshape(n_tokens, cfg.d_model)
+            for i in range(n_tokens):
+                slot.append(layer, k_flat[i], v[i], base + i)
+            keys, values = slot.view(layer, total)       # (L, d)
+            ck = keys.reshape(total, n_heads, head_dim).transpose(1, 0, 2)
+            cv = values.reshape(total, n_heads, head_dim).transpose(1, 0, 2)
+            scores = np.einsum("hqd,htd->hqt", qh, ck) / np.sqrt(head_dim)
+            causal = np.arange(total)[None, :] <= positions[:, None]
+            scores = np.where(causal[None, :, :], scores, -np.inf)
+            scores -= scores.max(axis=-1, keepdims=True)
+            probs = np.exp(scores)
+            probs /= probs.sum(axis=-1, keepdims=True)
+            ctx = np.einsum("hqt,htd->qhd", probs, cv)
+            x = x + ctx.reshape(n_tokens, cfg.d_model) @ lw.wo
+            mlp_in = rmsnorm(x, lw.mlp_norm, cfg.norm_eps)
+            if run_tokens is not None:
+                x = x + run_tokens(layer, mlp_in)
+            else:
+                x = x + np.stack(
+                    [self.prefill_mlp.run(layer, row) for row in mlp_in]
+                )
+        for _ in range(n_tokens):
+            slot.advance()
+        final = rmsnorm(x[-1], self.weights.final_norm, cfg.norm_eps)
+        return final @ self.weights.lm_head
 
     def decode_step(
         self, slots: Sequence[KVSlot], token_ids: Sequence[int]
@@ -330,8 +442,15 @@ class BatchedEngine:
 
         cfg = self.config
         positions = [slot.length for slot in slots]
-        ropes = [
-            rope_tables(np.array([p]), cfg.head_dim, cfg.rope_theta)
+        plan = (
+            self.attention.plan_step(positions, slots)
+            if self.batched_attention else None
+        )
+        # Memoized per-position tables: sequences at the same length
+        # (co-scheduled prefix sharers, the common case) share one table
+        # object instead of B identical rebuilds.
+        ropes = None if plan is not None else [
+            rope_for_position(p, cfg.head_dim, cfg.rope_theta)
             for p in positions
         ]
         x = self.weights.tok_embed[list(token_ids)].astype(np.float32)
@@ -341,12 +460,15 @@ class BatchedEngine:
             q = attn_in @ lw.wq
             k = attn_in @ lw.wk
             v = attn_in @ lw.wv
-            ctx = np.empty_like(x)
-            for i, slot in enumerate(slots):
-                ctx[i] = attend_single(
-                    cfg, q[i], k[i], v[i], positions[i], slot, layer,
-                    rope=ropes[i],
-                )
+            if plan is not None:
+                ctx = plan.attend_layer(layer, q, k, v, self.cache)
+            else:
+                ctx = np.empty_like(x)
+                for i, slot in enumerate(slots):
+                    ctx[i] = attend_single(
+                        cfg, q[i], k[i], v[i], positions[i], slot, layer,
+                        rope=ropes[i],
+                    )
             x = x + ctx @ lw.wo
             mlp_in = rmsnorm(x, lw.mlp_norm, cfg.norm_eps)
             x = x + self.sparse.run_batch(layer, mlp_in)

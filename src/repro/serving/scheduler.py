@@ -112,6 +112,13 @@ class ServeReport:
     intersection_skip: float = 0.0     # realised cross-sequence skip
     mean_sequence_skip: float = 0.0    # per-sequence (batch=1) ceiling
     expected_uncorrelated_skip: float = 0.0   # skip^B at mean occupancy
+    # Batched-attention telemetry (engine runs batched_attention=True):
+    # padded vs useful K/V cells gathered and length-bucket counts, so
+    # the padding the length masks threw away is visible per run.
+    attn_batched_steps: int = 0        # decode steps on the batched path
+    attn_buckets_sum: int = 0          # length buckets over those steps
+    attn_useful_positions: int = 0     # gathered cells inside a length
+    attn_padded_positions: int = 0     # all gathered cells incl. padding
 
     @property
     def wall_seconds(self) -> float:
@@ -146,6 +153,28 @@ class ServeReport:
     def skip_retained_vs_uncorrelated(self) -> float:
         """Realised intersection skip minus the independent ``skip^B``."""
         return self.intersection_skip - self.expected_uncorrelated_skip
+
+    def _attn_telemetry(self):
+        """This run's counters as an AttentionTelemetry (one source of
+        truth for the derived fractions)."""
+        from ..model.batch_attention import AttentionTelemetry
+
+        return AttentionTelemetry(
+            batched_steps=self.attn_batched_steps,
+            buckets_sum=self.attn_buckets_sum,
+            useful_positions=self.attn_useful_positions,
+            padded_positions=self.attn_padded_positions,
+        )
+
+    @property
+    def attn_padding_waste(self) -> float:
+        """Fraction of gathered K/V cells that were padding."""
+        return self._attn_telemetry().padding_waste_fraction
+
+    @property
+    def mean_attn_buckets(self) -> float:
+        """Mean length buckets per batched-attention decode step."""
+        return self._attn_telemetry().mean_buckets_per_step
 
     @property
     def decode_tokens_per_second(self) -> float:
@@ -188,6 +217,14 @@ class ContinuousBatchingScheduler:
         self._head_skips = 0       # consecutive admissions that bypassed head
         self.report = ServeReport(
             n_pages=getattr(engine.cache, "n_pages", 0)
+        )
+        # Engine attention counters are cumulative across its lifetime;
+        # snapshot them so a reused (or pre-warmed) engine still yields
+        # per-run telemetry, like every other ServeReport counter.
+        attn = engine.attn_telemetry
+        self._attn_baseline = (
+            attn.batched_steps, attn.buckets_sum,
+            attn.useful_positions, attn.padded_positions,
         )
 
     @staticmethod
@@ -428,6 +465,16 @@ class ContinuousBatchingScheduler:
             self.report.peak_shared_pages = max(
                 self.report.peak_shared_pages, shared
             )
+
+        if self.engine.batched_attention:
+            attn = self.engine.attn_telemetry
+            base = self._attn_baseline
+            self.report.attn_batched_steps = attn.batched_steps - base[0]
+            self.report.attn_buckets_sum = attn.buckets_sum - base[1]
+            self.report.attn_useful_positions = \
+                attn.useful_positions - base[2]
+            self.report.attn_padded_positions = \
+                attn.padded_positions - base[3]
 
         still_active: List[_ActiveSequence] = []
         for i, seq in enumerate(self.active):

@@ -1,0 +1,566 @@
+"""Batched decode attention + chunked prefill: equivalence and masking.
+
+The contract under test: ``batched_attention=True`` and
+``prefill_chunk > 0`` change *how fast* the engine computes, never *what*
+it decodes -- token-identical to the scalar per-sequence loops across
+the serving/paged/prefix-sharing matrix, with batch=1 staying
+bit-identical to ``build_engine``.  Plus the supporting pieces: the
+shared RoPE memo, length bucketing, the padded-gather plans, and the
+padding-mask property (garbage in padded K/V cells can never reach a
+logit).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    SparseInferSettings,
+    build_batched_engine,
+    build_engine,
+)
+from repro.eval.latency import measure_batched_serving
+from repro.model.batch_attention import (
+    AttentionTelemetry,
+    BatchedAttention,
+    length_buckets,
+)
+from repro.model.inference import attend_single
+from repro.model.kvcache import KVCache
+from repro.model.rope import rope_for_position, rope_tables
+from repro.serving import ContinuousBatchingScheduler, Request
+
+# 17 tokens: spans at least one full page at every page_size in the
+# sweep (1, 3, 16), so the prefix index can always match it.
+SHARED_PREFIX = (3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2)
+MIXED_PROMPTS = [
+    (2, 7, 1),
+    (5, 3, 8, 6, 2, 9, 4),
+    SHARED_PREFIX + (8, 2),
+    SHARED_PREFIX + (1, 7, 3, 2),
+    (6, 2),
+    (9, 8, 7, 6, 5, 4, 3, 2, 1, 1, 2, 3),
+    SHARED_PREFIX + (4,),
+    (1, 2, 3, 4, 5),
+]
+
+
+def make_requests(max_new: int = 7):
+    return [
+        Request(request_id=i, prompt_ids=prompt,
+                max_new_tokens=max_new - (i % 3))
+        for i, prompt in enumerate(MIXED_PROMPTS)
+    ]
+
+
+def drain(weights, requests, **kwargs):
+    reorder = kwargs.pop("reorder_window", 0)
+    engine = build_batched_engine(weights, **kwargs)
+    scheduler = ContinuousBatchingScheduler(engine, reorder_window=reorder)
+    for request in requests:
+        scheduler.submit(request)
+    report = scheduler.run()
+    tokens = {c.request_id: c.generated_ids for c in report.completions}
+    return tokens, report
+
+
+class TestRopeMemo:
+    def test_matches_rope_tables_bitwise(self):
+        cos, sin = rope_for_position(7, 8)
+        ref_cos, ref_sin = rope_tables(np.array([7]), 8)
+        np.testing.assert_array_equal(cos, ref_cos)
+        np.testing.assert_array_equal(sin, ref_sin)
+
+    def test_same_position_shares_one_object(self):
+        a = rope_for_position(13, 8)
+        b = rope_for_position(13, 8)
+        assert a[0] is b[0] and a[1] is b[1]
+        # ...including via a numpy integer position (same cache key).
+        c = rope_for_position(np.int64(13), 8)
+        assert c[0] is a[0]
+
+    def test_distinct_geometry_distinct_entries(self):
+        assert rope_for_position(2, 8)[0] is not rope_for_position(3, 8)[0]
+        assert rope_for_position(2, 8)[0] is not rope_for_position(2, 4)[0]
+        assert (rope_for_position(2, 8, 10000.0)[0]
+                is not rope_for_position(2, 8, 500.0)[0])
+
+    def test_cached_tables_are_frozen(self):
+        cos, _ = rope_for_position(21, 8)
+        with pytest.raises(ValueError):
+            cos[0, 0] = 0.0
+
+    def test_attend_single_default_rope_is_memoized(self, micro_config, rng):
+        """rope=None funnels through the memo, bit-identical to before."""
+        d = micro_config.d_model
+        q, k, v = (rng.standard_normal(d).astype(np.float32)
+                   for _ in range(3))
+        explicit_cache = KVCache(micro_config)
+        memo_cache = KVCache(micro_config)
+        explicit = attend_single(
+            micro_config, q, k, v, 0, explicit_cache, 0,
+            rope=rope_tables(np.array([0]), micro_config.head_dim,
+                             micro_config.rope_theta),
+        )
+        memoized = attend_single(micro_config, q, k, v, 0, memo_cache, 0)
+        np.testing.assert_array_equal(explicit, memoized)
+        np.testing.assert_array_equal(explicit_cache.keys, memo_cache.keys)
+
+
+class TestLengthBuckets:
+    def test_equal_lengths_one_bucket(self):
+        assert length_buckets([5, 5, 5, 5]) == [[0, 1, 2, 3]]
+
+    def test_large_spread_splits(self):
+        buckets = length_buckets([100, 10, 90, 9], min_fill=0.5)
+        assert len(buckets) == 2
+        assert sorted(buckets[0]) == [0, 2]
+        assert sorted(buckets[1]) == [1, 3]
+
+    def test_min_fill_zero_never_splits(self):
+        assert len(length_buckets([500, 1, 3, 2], min_fill=0.0)) == 1
+
+    def test_min_fill_one_groups_equal_only(self):
+        buckets = length_buckets([4, 3, 4, 3], min_fill=1.0)
+        assert len(buckets) == 2
+        assert sorted(buckets[0]) == [0, 2]
+        assert sorted(buckets[1]) == [1, 3]
+
+    def test_partition_is_exact(self):
+        lengths = [17, 3, 64, 64, 2, 9, 33]
+        buckets = length_buckets(lengths, min_fill=0.7)
+        flat = sorted(i for bucket in buckets for i in bucket)
+        assert flat == list(range(len(lengths)))
+
+    def test_invalid_min_fill_rejected(self):
+        with pytest.raises(ValueError):
+            length_buckets([1, 2], min_fill=1.5)
+        with pytest.raises(ValueError):
+            length_buckets([1], min_fill=-0.1)
+
+
+class TestBatchedDecodeEquivalence:
+    """The issue's sweep: batch {2,4,8} x page_size {1,3,16} x mixed
+    lengths including a just-forked prefix sharer, token-identical."""
+
+    @pytest.mark.parametrize("batch_size", [2, 4, 8])
+    @pytest.mark.parametrize("page_size", [1, 3, 16])
+    def test_paged_prefix_sharing_sweep(self, micro_weights, batch_size,
+                                        page_size):
+        requests = make_requests()
+        scalar, scalar_report = drain(
+            micro_weights, requests, max_batch_size=batch_size,
+            paged=True, page_size=page_size, prefix_sharing=True,
+            reorder_window=4,
+        )
+        batched, report = drain(
+            micro_weights, requests, max_batch_size=batch_size,
+            paged=True, page_size=page_size, prefix_sharing=True,
+            reorder_window=4, batched_attention=True,
+        )
+        assert scalar_report.forked_admissions > 0   # sharers really fork
+        assert batched == scalar
+        assert report.attn_batched_steps > 0
+
+    @pytest.mark.parametrize("batch_size", [2, 4, 8])
+    def test_fixed_cache_sweep(self, micro_weights, batch_size):
+        requests = make_requests()
+        scalar, _ = drain(micro_weights, requests,
+                          max_batch_size=batch_size)
+        batched, report = drain(micro_weights, requests,
+                                max_batch_size=batch_size,
+                                batched_attention=True)
+        assert batched == scalar
+        assert report.attn_batched_steps > 0
+
+    def test_single_bucket_and_equal_length_paths(self, micro_weights):
+        """bucket_min_fill extremes agree with the scalar loop too."""
+        requests = make_requests()
+        scalar, _ = drain(micro_weights, requests, max_batch_size=4)
+        for min_fill in (0.0, 1.0):
+            batched, _ = drain(micro_weights, requests, max_batch_size=4,
+                               batched_attention=True,
+                               attn_bucket_min_fill=min_fill)
+            assert batched == scalar
+
+    def test_just_forked_sharer_in_decode_batch(self, micro_weights):
+        """Donor + fresh fork decode together, scalar vs batched."""
+        prompt_a = SHARED_PREFIX + (8, 2)
+        suffix = (1, 7)
+
+        def build(batched_attention):
+            engine = build_batched_engine(
+                micro_weights, max_batch_size=2, paged=True, page_size=3,
+                prefix_sharing=True, batched_attention=batched_attention,
+            )
+            slot_a = engine.allocate_slot()
+            logits_a = engine.prefill(slot_a, prompt_a)
+            slot_b = engine.fork_slot(slot_a, len(SHARED_PREFIX))
+            logits_b = engine.prefill(slot_b, suffix)
+            return engine, (slot_a, slot_b), (logits_a, logits_b)
+
+        scalar_engine, scalar_slots, scalar_logits = build(False)
+        batched_engine, batched_slots, batched_logits = build(True)
+        np.testing.assert_array_equal(scalar_logits[0], batched_logits[0])
+        np.testing.assert_array_equal(scalar_logits[1], batched_logits[1])
+
+        tokens = [int(np.argmax(l)) for l in scalar_logits]
+        for _ in range(4):
+            scalar_step = scalar_engine.decode_step(scalar_slots, tokens)
+            batched_step = batched_engine.decode_step(batched_slots, tokens)
+            np.testing.assert_allclose(batched_step, scalar_step,
+                                       rtol=1e-5, atol=1e-5)
+            assert [int(np.argmax(row)) for row in batched_step] == \
+                [int(np.argmax(row)) for row in scalar_step]
+            tokens = [int(np.argmax(row)) for row in scalar_step]
+
+    def test_batch1_stays_bit_identical_to_build_engine(self, micro_weights):
+        """batched_attention=True must not touch the batch=1 path."""
+        prompt = MIXED_PROMPTS[1]
+        reference = build_engine(micro_weights)
+        reference.reset()
+        ref_logits = reference.prefill(prompt)
+
+        engine = build_batched_engine(micro_weights, max_batch_size=1,
+                                      batched_attention=True)
+        slot = engine.allocate_slot()
+        logits = engine.prefill(slot, prompt)
+        np.testing.assert_array_equal(logits, ref_logits)
+        token = int(np.argmax(ref_logits))
+        for _ in range(4):
+            step = engine.decode_step([slot], [token])
+            ref_step = reference.forward_token(token,
+                                               reference.cache.length)
+            np.testing.assert_array_equal(step[0], ref_step)
+            token = int(np.argmax(ref_step))
+        assert engine.attn_telemetry.batched_steps == 0
+
+
+def _poison_unowned_cells(engine, slots, rng):
+    """Overwrite every K/V cell no live position owns with garbage."""
+    pool = engine.cache.pool
+    page_size = pool.page_size
+    owned = set()
+    for slot in slots:
+        for pos in range(slot.length):
+            owned.add((slot.page_table[pos // page_size], pos % page_size))
+    for page in range(pool.n_pages):
+        for offset in range(page_size):
+            if (page, offset) not in owned:
+                garbage = rng.standard_normal(
+                    (pool.config.n_layers, pool.config.d_model)
+                ).astype(np.float32) * 1e3
+                pool.keys[page, :, offset] = garbage
+                pool.values[page, :, offset] = -garbage
+
+
+class TestPaddingMaskProperty:
+    """Masked positions never contribute: perturbing padded K/V entries
+    leaves the decode logits bit-unchanged."""
+
+    @pytest.mark.parametrize("page_size", [1, 3, 16])
+    def test_poisoned_padding_changes_nothing(self, micro_weights,
+                                              page_size, rng):
+        prompts = [MIXED_PROMPTS[0], MIXED_PROMPTS[1], MIXED_PROMPTS[5]]
+
+        def build():
+            engine = build_batched_engine(
+                micro_weights, max_batch_size=4, paged=True,
+                page_size=page_size, batched_attention=True,
+            )
+            slots, tokens = [], []
+            for prompt in prompts:
+                slot = engine.allocate_slot()
+                logits = engine.prefill(slot, prompt)
+                slots.append(slot)
+                tokens.append(int(np.argmax(logits)))
+            return engine, slots, tokens
+
+        clean_engine, clean_slots, tokens = build()
+        dirty_engine, dirty_slots, dirty_tokens = build()
+        assert tokens == dirty_tokens
+        _poison_unowned_cells(dirty_engine, dirty_slots, rng)
+
+        for _ in range(3):
+            clean = clean_engine.decode_step(clean_slots, tokens)
+            dirty = dirty_engine.decode_step(dirty_slots, tokens)
+            np.testing.assert_array_equal(clean, dirty)
+            tokens = [int(np.argmax(row)) for row in clean]
+
+    def test_fixed_cache_padding_immune(self, micro_weights, rng):
+        """Same property on the fixed-slot cache: garbage past each
+        slot's length is masked out of the padded stack."""
+        prompts = [MIXED_PROMPTS[0], MIXED_PROMPTS[5]]
+
+        def build():
+            engine = build_batched_engine(micro_weights, max_batch_size=2,
+                                          batched_attention=True)
+            slots, tokens = [], []
+            for prompt in prompts:
+                slot = engine.allocate_slot()
+                logits = engine.prefill(slot, prompt)
+                slots.append(slot)
+                tokens.append(int(np.argmax(logits)))
+            return engine, slots, tokens
+
+        clean_engine, clean_slots, tokens = build()
+        dirty_engine, dirty_slots, _ = build()
+        cache = dirty_engine.cache
+        for slot in dirty_slots:
+            cache.keys[slot.index, :, slot.length:] = 1e3 * rng.standard_normal(
+                cache.keys[slot.index, :, slot.length:].shape
+            ).astype(np.float32)
+            cache.values[slot.index, :, slot.length:] = -1e3
+        clean = clean_engine.decode_step(clean_slots, tokens)
+        dirty = dirty_engine.decode_step(dirty_slots, tokens)
+        np.testing.assert_array_equal(clean, dirty)
+
+
+class TestGatherPlans:
+    def test_plan_extends_append_only_between_steps(self, micro_weights):
+        engine = build_batched_engine(micro_weights, max_batch_size=2,
+                                      paged=True, page_size=2,
+                                      batched_attention=True)
+        slots = []
+        tokens = []
+        for prompt in (MIXED_PROMPTS[1], MIXED_PROMPTS[5]):
+            slot = engine.allocate_slot()
+            logits = engine.prefill(slot, prompt)
+            slots.append(slot)
+            tokens.append(int(np.argmax(logits)))
+        for _ in range(5):
+            step = engine.decode_step(slots, tokens)
+            tokens = [int(np.argmax(row)) for row in step]
+            for slot in slots:
+                plan = engine.cache._gather_plans[slot.index]
+                assert plan.generation == slot.generation
+                n = plan.n_pages
+                assert list(plan.pages[:n]) == slot.page_table[:n]
+
+    def test_generation_bump_invalidates_plan(self, micro_config):
+        from repro.model.paged_kvcache import PagedKVCache
+
+        cache = PagedKVCache(micro_config, n_slots=2, max_seq_len=16,
+                             page_size=2)
+        k = np.ones(micro_config.d_model, dtype=np.float32)
+        slot = cache.allocate()
+        for pos in range(4):
+            for layer in range(micro_config.n_layers):
+                slot.append(layer, k * pos, k * pos, pos)
+            slot.advance()
+        view = cache.view_batch([slot], [4])
+        first_pages = list(cache._gather_plans[slot.index].pages[:2])
+        assert first_pages == slot.page_table
+
+        cache.release(slot)
+        slot2 = cache.allocate()
+        assert slot2.index == slot.index
+        for pos in range(2):
+            for layer in range(micro_config.n_layers):
+                slot2.append(layer, k * 7, k * 7, pos)
+            slot2.advance()
+        keys, _ = cache.view_batch([slot2], [2]).gather(0)
+        np.testing.assert_array_equal(keys[0, 0], k * 7)
+        plan = cache._gather_plans[slot2.index]
+        assert plan.generation == slot2.generation
+        assert list(plan.pages[:plan.n_pages]) == slot2.page_table
+
+    def test_view_batch_matches_per_slot_views(self, micro_config, rng):
+        from repro.model.paged_kvcache import PagedKVCache
+
+        cache = PagedKVCache(micro_config, n_slots=3, max_seq_len=32,
+                             page_size=3)
+        lengths = [7, 3, 12]
+        slots = []
+        for length in lengths:
+            slot = cache.allocate()
+            for pos in range(length):
+                for layer in range(micro_config.n_layers):
+                    slot.append(
+                        layer,
+                        rng.standard_normal(micro_config.d_model)
+                        .astype(np.float32),
+                        rng.standard_normal(micro_config.d_model)
+                        .astype(np.float32),
+                        pos,
+                    )
+                slot.advance()
+            slots.append(slot)
+        view = cache.view_batch(slots, lengths)
+        assert view.l_max == max(lengths)
+        for layer in range(micro_config.n_layers):
+            keys, values = view.gather(layer)
+            assert keys.shape == (3, max(lengths), micro_config.d_model)
+            for i, (slot, length) in enumerate(zip(slots, lengths)):
+                ref_k, ref_v = slot.view(layer, length)
+                np.testing.assert_array_equal(keys[i, :length], ref_k)
+                np.testing.assert_array_equal(values[i, :length], ref_v)
+
+    def test_contiguous_run_detection(self, micro_config):
+        """Consecutively-claimed equal-length slots gather via a slice."""
+        from repro.model.paged_kvcache import PagedKVCache
+
+        cache = PagedKVCache(micro_config, n_slots=3, max_seq_len=8,
+                             page_size=4)
+        k = np.arange(micro_config.d_model, dtype=np.float32)
+        slots = []
+        for s in range(3):
+            slot = cache.allocate()        # pages claimed in order: 0,1,2
+            for layer in range(micro_config.n_layers):
+                slot.append(layer, k + s, k - s, 0)
+            slot.advance()
+            slots.append(slot)
+        view = cache.view_batch(slots, [1, 1, 1])
+        assert view._contig_start == 0
+        keys, values = view.gather(1)
+        for s in range(3):
+            np.testing.assert_array_equal(keys[s, 0], k + s)
+            np.testing.assert_array_equal(values[s, 0], k - s)
+
+
+class TestChunkedPrefill:
+    @pytest.mark.parametrize("chunk", [1, 2, 5, 64])
+    def test_token_identical_generation(self, micro_weights, chunk):
+        requests = make_requests()
+        scalar, _ = drain(micro_weights, requests, max_batch_size=4)
+        chunked, _ = drain(micro_weights, requests, max_batch_size=4,
+                           prefill_chunk=chunk)
+        assert chunked == scalar
+
+    def test_prefill_logits_close_and_same_argmax(self, micro_weights):
+        prompt = MIXED_PROMPTS[5]
+        scalar_engine = build_batched_engine(micro_weights,
+                                             max_batch_size=1)
+        scalar_slot = scalar_engine.allocate_slot()
+        scalar_logits = scalar_engine.prefill(scalar_slot, prompt)
+
+        chunked_engine = build_batched_engine(micro_weights,
+                                              max_batch_size=1,
+                                              prefill_chunk=4)
+        chunked_slot = chunked_engine.allocate_slot()
+        chunked_logits = chunked_engine.prefill(chunked_slot, prompt)
+        assert chunked_slot.length == len(prompt)
+        np.testing.assert_allclose(chunked_logits, scalar_logits,
+                                   rtol=1e-4, atol=1e-4)
+        assert int(np.argmax(chunked_logits)) == int(np.argmax(scalar_logits))
+
+    @pytest.mark.parametrize("page_size", [1, 3, 16])
+    def test_chunked_prefill_on_forked_slot(self, micro_weights, page_size):
+        """Forked admission prefills only the suffix -- chunked or not,
+        the decoded tokens match."""
+        requests = [
+            Request(request_id=i,
+                    prompt_ids=SHARED_PREFIX + (7 + i, 2, i + 1),
+                    max_new_tokens=6)
+            for i in range(4)
+        ]
+        scalar, ref_report = drain(
+            micro_weights, requests, max_batch_size=4, paged=True,
+            page_size=page_size, prefix_sharing=True, reorder_window=4,
+        )
+        chunked, report = drain(
+            micro_weights, requests, max_batch_size=4, paged=True,
+            page_size=page_size, prefix_sharing=True, reorder_window=4,
+            prefill_chunk=3, batched_attention=True,
+        )
+        assert report.forked_admissions == ref_report.forked_admissions > 0
+        assert chunked == scalar
+
+    def test_sparse_prefill_executor_fallback(self, micro_weights):
+        """Executors without run_tokens (sparse prefill) still work."""
+        settings = SparseInferSettings(sparse_prefill=True)
+        requests = make_requests(max_new=4)
+        scalar, _ = drain(micro_weights, requests, max_batch_size=2,
+                          settings=settings)
+        chunked, _ = drain(micro_weights, requests, max_batch_size=2,
+                           settings=settings, prefill_chunk=4)
+        assert chunked == scalar
+
+    def test_validation(self, micro_weights):
+        with pytest.raises(ValueError):
+            build_batched_engine(micro_weights, prefill_chunk=-1)
+        engine = build_batched_engine(micro_weights, prefill_chunk=4)
+        slot = engine.allocate_slot()
+        with pytest.raises(ValueError):
+            engine.prefill(slot, [])
+
+
+class TestTelemetry:
+    def test_report_populated_only_when_batched(self, micro_weights):
+        requests = make_requests()
+        _, scalar_report = drain(micro_weights, requests, max_batch_size=4)
+        assert scalar_report.attn_batched_steps == 0
+        assert scalar_report.attn_padding_waste == 0.0
+        assert scalar_report.mean_attn_buckets == 0.0
+
+        _, report = drain(micro_weights, requests, max_batch_size=4,
+                          batched_attention=True)
+        assert report.attn_batched_steps > 0
+        assert 0.0 <= report.attn_padding_waste < 1.0
+        assert report.mean_attn_buckets >= 1.0
+        assert report.attn_useful_positions <= report.attn_padded_positions
+
+    def test_bucket_knob_bounds_waste(self, micro_weights):
+        requests = make_requests()
+        _, loose = drain(micro_weights, requests, max_batch_size=4,
+                         batched_attention=True, attn_bucket_min_fill=0.0)
+        _, tight = drain(micro_weights, requests, max_batch_size=4,
+                         batched_attention=True, attn_bucket_min_fill=1.0)
+        assert tight.attn_padding_waste == 0.0   # equal lengths only
+        assert tight.mean_attn_buckets >= loose.mean_attn_buckets
+        assert loose.attn_padding_waste >= tight.attn_padding_waste
+
+    def test_measurement_carries_attention_fields(self, micro_weights):
+        requests = make_requests(max_new=4)
+        point = measure_batched_serving(
+            micro_weights, requests, 4,
+            batched_attention=True, prefill_chunk=4,
+        )
+        assert "+battn" in point.label and "+chunk4" in point.label
+        assert 0.0 <= point.attn_padding_waste < 1.0
+        assert point.mean_attn_buckets >= 1.0
+
+    def test_reused_engine_reports_per_run_telemetry(self, micro_weights):
+        """A second scheduler on the same engine must not inherit the
+        first run's attention counters."""
+        engine = build_batched_engine(micro_weights, max_batch_size=4,
+                                      batched_attention=True)
+        first = ContinuousBatchingScheduler(engine)
+        for request in make_requests():
+            first.submit(request)
+        first_report = first.run()
+        assert first_report.attn_batched_steps > 0
+
+        second = ContinuousBatchingScheduler(engine)
+        for request in make_requests(max_new=3):
+            second.submit(request)
+        second_report = second.run()
+        assert 0 < second_report.attn_batched_steps < \
+            engine.attn_telemetry.batched_steps
+        assert second_report.attn_padded_positions < \
+            engine.attn_telemetry.padded_positions
+        assert 0.0 <= second_report.attn_padding_waste < 1.0
+
+    def test_telemetry_dataclass_edges(self):
+        t = AttentionTelemetry()
+        assert t.padding_waste_fraction == 0.0
+        assert t.mean_buckets_per_step == 0.0
+
+    def test_singleton_buckets_excluded_from_padding_counts(
+            self, micro_config):
+        """Singletons go through attend_single -- they gather no
+        padding, so they must not dilute the waste fraction."""
+        attention = BatchedAttention(micro_config, bucket_min_fill=0.5)
+        plan = attention.plan_step([99, 9], slots=[None, None])
+        assert len(plan.buckets) == 2             # both singletons
+        assert attention.telemetry.padded_positions == 0
+        assert attention.telemetry.useful_positions == 0
+        assert attention.telemetry.buckets_sum == 2
+
+        attention.plan_step([7, 5], slots=[None, None])  # one real bucket
+        assert attention.telemetry.padded_positions == 2 * 8
+        assert attention.telemetry.useful_positions == 8 + 6
+
+    def test_invalid_bucket_min_fill_rejected(self, micro_weights):
+        with pytest.raises(ValueError):
+            build_batched_engine(micro_weights, batched_attention=True,
+                                 attn_bucket_min_fill=2.0)
