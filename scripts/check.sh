@@ -8,25 +8,51 @@
 set -eu
 cd "$(dirname "$0")/.."
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q "$@"
-# Serving + paged-KV suites (including the fork/COW property suite) run
-# explicitly on the default (tier-1) invocation: collection filters or
-# testpath drift must never silently drop the serving layer's coverage.
-# Skipped when the caller passed their own pytest args (-m slow etc.)
-# to keep those selections exact.
+# Serving + paged-KV suites (including the fork/COW/prefix-cache
+# property suite) run explicitly on the default (tier-1) invocation:
+# collection filters or testpath drift must never silently drop the
+# serving layer's coverage.  Skipped when the caller passed their own
+# pytest args (-m slow etc.) to keep those selections exact.
 if [ "$#" -eq 0 ]; then
     PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q \
         tests/test_serving.py tests/test_paged_kv.py \
         tests/test_paged_properties.py
+    # Docs-freshness guard: every build_batched_engine knob must appear
+    # in docs/serving.md (the knob table the README points at), so a
+    # knob added without docs fails the gate.
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python - <<'EOF'
+import inspect
+import pathlib
+import sys
+
+from repro.core.engine import build_batched_engine
+
+doc = pathlib.Path("docs/serving.md").read_text()
+missing = [
+    name
+    for name in inspect.signature(build_batched_engine).parameters
+    if f"`{name}`" not in doc
+]
+if missing:
+    sys.exit(
+        "docs/serving.md is stale: build_batched_engine knob(s) "
+        f"{missing} are not documented in its knob table"
+    )
+print("docs/serving.md covers all build_batched_engine knobs")
+EOF
 fi
 # Slow smokes of the paged-KV benchmark (equal-budget >= 2x concurrency
 # and batch=1 bit-identity), the prefix-sharing benchmark (>= 1.5x
 # concurrency from forked admission, intersection decays slower than
-# skip^B), and the batched-attention benchmark (decode-step win at
-# batch >= 4, >= 2x chunked-prefill win, tokens identical; JSON into
+# skip^B), the prefix-cache benchmark (>= 50% of prompt tokens revived
+# on bursty non-overlapping traffic, tokens identical to cold prefill),
+# and the batched-attention benchmark (decode-step win at batch >= 4,
+# >= 2x chunked-prefill win, tokens identical; JSON into
 # benchmarks/results/); opt in because they decode real workloads.
 if [ "${CHECK_SLOW:-0}" = "1" ]; then
     PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q \
         -m slow -p no:cacheprovider benchmarks/bench_paged_kv.py \
         benchmarks/bench_prefix_sharing.py \
+        benchmarks/bench_prefix_cache.py \
         benchmarks/bench_batched_attention.py
 fi

@@ -99,6 +99,7 @@ def build_batched_engine(
     page_size: int = 16,
     n_pages: int = 0,
     prefix_sharing: bool = False,
+    cache_pages: int = 0,
     batched_attention: bool = False,
     attn_bucket_min_fill: float = 0.5,
     prefill_chunk: int = 0,
@@ -110,7 +111,12 @@ def build_batched_engine(
     page arena -- see :mod:`repro.model.paged_kvcache`; ``n_pages``
     caps the total KV memory budget; ``prefix_sharing=True`` lets
     admissions fork a resident sequence's refcounted pages instead of
-    re-prefilling a shared prompt prefix).  ``batched_attention=True``
+    re-prefilling a shared prompt prefix, and ``cache_pages > 0``
+    additionally keeps up to that many *retired* prompt-prefix pages in
+    an LRU :class:`~repro.model.paged_kvcache.PrefixCache` so bursty
+    same-prefix traffic whose requests never overlap in time can still
+    revive them -- cached pages stay reclaimable, so reservations and
+    admission guarantees are unchanged).  ``batched_attention=True``
     computes decode attention once for the whole batch (padded K/V
     stack + length mask, bucketed by ``attn_bucket_min_fill`` -- see
     :mod:`repro.model.batch_attention`), and ``prefill_chunk > 0``
@@ -133,6 +139,7 @@ def build_batched_engine(
         page_size=page_size,
         n_pages=n_pages,
         prefix_sharing=prefix_sharing,
+        cache_pages=cache_pages,
         batched_attention=batched_attention,
         attn_bucket_min_fill=attn_bucket_min_fill,
         prefill_chunk=prefill_chunk,

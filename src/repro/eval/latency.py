@@ -183,6 +183,12 @@ class ServingMeasurement:
     expected_uncorrelated_skip: float = 0.0
     forked_admissions: int = 0
     prefill_tokens_saved: int = 0
+    # Non-zero only when the engine ran cache_pages > 0: admissions
+    # served by reviving retired prefix pages, the prompt positions
+    # those revives skipped, and cached pages reclaimed under pressure.
+    revived_admissions: int = 0
+    revived_tokens: int = 0
+    cache_evictions: int = 0
     peak_occupancy: int = 0
     # Non-zero only when the engine ran batched_attention=True: the
     # fraction of gathered K/V cells the length masks discarded, and
@@ -216,6 +222,7 @@ def measure_batched_serving(
     page_size: int = 16,
     n_pages: int = 0,
     prefix_sharing: bool = False,
+    cache_pages: int = 0,
     reorder_window: int = 0,
     batched_attention: bool = False,
     attn_bucket_min_fill: float = 0.5,
@@ -237,7 +244,7 @@ def measure_batched_serving(
         weights, settings=settings, predictor=predictor,
         max_batch_size=max_batch_size,
         paged=paged, page_size=page_size, n_pages=n_pages,
-        prefix_sharing=prefix_sharing,
+        prefix_sharing=prefix_sharing, cache_pages=cache_pages,
         batched_attention=batched_attention,
         attn_bucket_min_fill=attn_bucket_min_fill,
         prefill_chunk=prefill_chunk,
@@ -252,6 +259,8 @@ def measure_batched_serving(
     label = f"batched(B<={max_batch_size})"
     if prefix_sharing:
         label += "+prefix"
+    if cache_pages:
+        label += f"+cache{cache_pages}"
     if batched_attention:
         label += "+battn"
     if prefill_chunk:
@@ -271,6 +280,9 @@ def measure_batched_serving(
         expected_uncorrelated_skip=report.expected_uncorrelated_skip,
         forked_admissions=report.forked_admissions,
         prefill_tokens_saved=report.prefill_tokens_saved,
+        revived_admissions=report.revived_admissions,
+        revived_tokens=report.revived_tokens,
+        cache_evictions=report.cache_evictions,
         peak_occupancy=report.peak_occupancy,
         attn_padding_waste=report.attn_padding_waste,
         mean_attn_buckets=report.mean_attn_buckets,

@@ -11,7 +11,13 @@ from .batch_attention import AttentionTelemetry, BatchedAttention, length_bucket
 from .inference import InferenceModel, MLPTrace
 from .kvcache import BatchedKVCache, KVCache
 from .mlp import DenseMLP, MLPStats
-from .paged_kvcache import PagedKVCache, PagedKVSlot, PagePool
+from .paged_kvcache import (
+    PagedKVCache,
+    PagedKVSlot,
+    PagePool,
+    PrefixCache,
+    chained_prefix_keys,
+)
 from .synthetic import SyntheticActivationModel
 from .tokenizer import CharTokenizer
 from .weights import LayerWeights, ModelWeights, random_weights

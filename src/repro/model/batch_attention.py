@@ -29,7 +29,10 @@ Numerics: the batched einsums may round differently from the scalar
 GEMVs, so batch > 1 output is *token-identical*, not bit-identical, to
 the per-sequence loop -- same contract as the batched MLP.  The engine
 keeps batch = 1 on the scalar path, which stays bit-identical to
-:func:`repro.core.engine.build_engine`.
+:func:`repro.core.engine.build_engine`.  These guarantees hold across
+the whole fixed / paged / prefix-shared / prefix-cached KV matrix --
+see ``docs/serving.md`` for the architecture walkthrough and the full
+knob / telemetry reference.
 """
 
 from __future__ import annotations

@@ -63,15 +63,71 @@ a common prompt prefix can map the *same* physical pages
 * Reservation accounting composes: a forked slot's worst case is charged
   only for its *unshared* pages (the shared full pages are already
   resident), so admission of correlated requests gets strictly cheaper.
+
+**Cross-request prefix cache (LRU page retention).**  Forking only helps
+while the donor is *resident*; bursty traffic whose same-prefix requests
+never overlap in time would re-prefill the shared prefix every burst.
+With ``cache_pages > 0`` a :class:`PrefixCache` keeps retired prompt
+prefixes alive:
+
+* When a sequence is released **with its prompt**
+  (:meth:`PagedKVCache.release` with ``prompt_ids``), its page-aligned
+  prompt-prefix pages whose refcount would drop to 0 are *parked* --
+  refcount 0, off the free list, indexed by the same chained per-page
+  hash :class:`repro.serving.engine.PrefixIndex` uses
+  (:func:`chained_prefix_keys`).  Causal attention makes a full page's
+  K/V a pure function of the tokens up to its end, so a parked page is
+  valid for *any* future prompt sharing those tokens.
+
+* A later request *revives* the longest cached chain of its prompt's
+  aligned prefix pages (:meth:`PagedKVCache.revive`): the pages are
+  pinned back into the new slot's table (refcount 0 -> 1) and only the
+  prompt suffix needs prefill -- bit-for-bit the K/V the original
+  prefill produced, so revived decode matches cold prefill exactly.
+
+* Cached pages are **reclaimable**: they count toward
+  :attr:`PagePool.n_available_pages`, and a claim that finds the free
+  list empty evicts LRU cache entries on demand -- so admission
+  reservations still hold, and ``cache_pages = 0`` (the default) is
+  bit-identical to no cache at all.  The pool-level invariant becomes
+  ``free + in_use + cached == n_pages``.
+
+Every path preserves the serving engine's equivalence guarantees: decode
+at batch 1 over this cache is **bit-identical** to the fixed-slot cache
+and to ``build_engine``; batch > 1 is **token-identical** (see
+``docs/serving.md`` for the architecture walkthrough and the full knob /
+telemetry reference).
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
 
 import numpy as np
 
 from .config import ModelConfig
 
 DEFAULT_PAGE_SIZE = 16
+
+
+def chained_prefix_keys(prompt: tuple, page_size: int) -> list:
+    """Chained hash keys of every full page-aligned prefix of ``prompt``.
+
+    ``keys[i]`` covers ``prompt[:(i + 1) * page_size]`` and is computed
+    as ``hash((keys[i - 1], page_tokens))`` -- vLLM block-hash style, so
+    all of a prompt's keys come from one O(len) pass.  This is the
+    shared key scheme of the resident
+    :class:`repro.serving.engine.PrefixIndex` and the retired-page
+    :class:`PrefixCache`: a prefix parked by one is found by the other's
+    walk.  Keys can collide, so users must verify token equality on a
+    hit.
+    """
+    keys = []
+    key = 0
+    for start in range(0, len(prompt) - page_size + 1, page_size):
+        key = hash((key, prompt[start:start + page_size]))
+        keys.append(key)
+    return keys
 
 
 class PagePool:
@@ -101,22 +157,39 @@ class PagePool:
         self._reserved = 0      # worst-case pages promised but not yet claimed
         self._refcount = [0] * n_pages   # page tables mapping each page
         self._n_shared = 0      # pages with refcount > 1 (O(1) telemetry)
+        self._cached_set = set()   # refcount-0 pages parked in a PrefixCache
+        self.prefix_cache = None   # set by PagedKVCache when cache_pages > 0
 
     # -- accounting --------------------------------------------------------
 
     @property
     def n_free_pages(self) -> int:
-        """Physically unclaimed pages (ignores reservations)."""
+        """Physically unclaimed pages (ignores reservations and cache)."""
         return len(self._free)
 
     @property
+    def n_cached_pages(self) -> int:
+        """Refcount-0 pages retained by the prefix cache (reclaimable)."""
+        return len(self._cached_set)
+
+    @property
     def n_available_pages(self) -> int:
-        """Pages neither claimed nor reserved -- what admission can promise."""
-        return len(self._free) - self._reserved
+        """Pages neither claimed nor reserved -- what admission can promise.
+
+        Cached pages count: they hold no live reference and the
+        allocator evicts them on demand, so a reservation backed by a
+        cached page is exactly as safe as one backed by a free page.
+        """
+        return len(self._free) + len(self._cached_set) - self._reserved
 
     @property
     def n_pages_in_use(self) -> int:
-        return self.n_pages - len(self._free)
+        """Pages mapped by at least one live page table.
+
+        Invariant: ``n_free_pages + n_pages_in_use + n_cached_pages ==
+        n_pages`` -- every page is exactly one of free, pinned, cached.
+        """
+        return self.n_pages - len(self._free) - len(self._cached_set)
 
     @property
     def n_shared_pages(self) -> int:
@@ -149,22 +222,59 @@ class PagePool:
     # -- page claims (called by PagedKVSlot) -------------------------------
 
     def _claim_page(self, reserved: bool) -> int:
-        """Pop a free page; unreserved claims cannot eat into reservations."""
-        if not self._free:
+        """Pop a free page; unreserved claims cannot eat into reservations.
+
+        Cached (prefix-retained) pages are reclaimable: when the free
+        list is empty but cached pages exist, the LRU cache entry is
+        evicted to back the claim -- which is why cached pages may count
+        toward :attr:`n_available_pages` without weakening the
+        no-mid-decode-starvation guarantee.
+        """
+        claimable = len(self._free) + len(self._cached_set)
+        if claimable == 0:
             raise RuntimeError(
                 f"page pool exhausted ({self.n_pages} pages of "
                 f"{self.page_size} positions)"
             )
-        if not reserved and len(self._free) <= self._reserved:
+        if not reserved and claimable <= self._reserved:
             raise RuntimeError(
                 "all free pages are reserved for admitted sequences"
             )
+        if not self._free:
+            self.prefix_cache.evict_lru()
         index = self._free.pop()
         self._free_set.discard(index)
         self._refcount[index] = 1
         if reserved:
             self._reserved -= 1
         return index
+
+    # -- cached-page transitions (called by PrefixCache) --------------------
+
+    def _park_page(self, index: int) -> None:
+        """Sole-reference page -> cached: off the free list, refcount 0."""
+        if self._refcount[index] != 1:
+            raise ValueError(
+                f"cannot park page {index} with refcount "
+                f"{self._refcount[index]} (must be the sole reference)"
+            )
+        self._refcount[index] = 0
+        self._cached_set.add(index)
+
+    def _evict_page(self, index: int) -> None:
+        """Cached page -> free list (its K/V is forgotten)."""
+        if index not in self._cached_set:
+            raise ValueError(f"page {index} is not cached")
+        self._cached_set.discard(index)
+        self._free.append(index)
+        self._free_set.add(index)
+
+    def _pin_page(self, index: int) -> None:
+        """Cached page -> claimed (refcount 1) with its K/V intact."""
+        if index not in self._cached_set:
+            raise ValueError(f"page {index} is not cached")
+        self._cached_set.discard(index)
+        self._refcount[index] = 1
 
     def _share_page(self, index: int) -> None:
         """Add one page-table reference to an already-claimed page."""
@@ -196,6 +306,174 @@ class PagePool:
 
     def _cancel_reservation(self, n_pages: int) -> None:
         self._reserved -= n_pages
+
+
+class PrefixCache:
+    """LRU index of retired prompt-prefix pages, keyed by chained hash.
+
+    One entry per cached **page**: key ``i`` covers the page-aligned
+    prefix ``prompt[:(i + 1) * page_size]`` (:func:`chained_prefix_keys`,
+    the same scheme the resident ``PrefixIndex`` uses), and the entry
+    stores that full prefix tuple so hash collisions can never revive
+    the wrong K/V.  Per-page granularity is what makes the few-shot
+    workload work: a retired prompt's trailing pages mix shared-prefix
+    and request-specific tokens, and a later prompt matches exactly the
+    pages whose token history it shares -- the lookup walk stops at the
+    first divergence.
+
+    Lifecycle (all state transitions go through the pool, which owns the
+    ``free + in_use + cached == n_pages`` invariant):
+
+    * :meth:`park` -- at release, each full prompt-prefix page whose
+      refcount would drop to 0 is retained instead of freed.  Pages
+      still mapped by a resident sharer are released normally (the
+      resident is itself discoverable as a fork donor, and parking only
+      sole-reference pages keeps cached pages strictly refcount 0).
+    * :meth:`lookup` / :meth:`take` -- admission revives the longest
+      cached chain: entries are removed and their pages pinned back to
+      refcount 1.  Retirement re-parks them, so a hot prefix cycles
+      between pinned and cached without ever being re-prefilled.
+    * :meth:`evict_lru` -- drops the least-recently-parked entry, either
+      to honour the ``cache_pages`` budget or on demand when the pool's
+      free list runs dry.  Runs of one retirement are parked deepest
+      page first, so eviction sheds the request-specific tail of a
+      prefix family before the widely-shared head.
+    """
+
+    def __init__(self, pool: PagePool, cache_pages: int):
+        if cache_pages < 1:
+            raise ValueError(f"cache_pages must be >= 1, got {cache_pages}")
+        self.pool = pool
+        self.cache_pages = cache_pages
+        self._entries: OrderedDict = OrderedDict()  # key -> (page, prefix)
+        self._key_by_page: dict = {}                # page -> key
+        self.hits = 0            # lookups that matched >= 1 page
+        self.misses = 0          # lookups that matched nothing
+        self.evictions = 0       # pages dropped (budget or demand)
+        self.pages_parked = 0    # pages ever retained at release
+        self.pages_revived = 0   # pages ever pinned back into a slot
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- park (release path) -----------------------------------------------
+
+    def park(self, slot: "PagedKVSlot", prompt_ids) -> int:
+        """Retain ``slot``'s full prompt-prefix pages; returns how many.
+
+        Every offered page is consumed -- parked, or released to the
+        free list when ineligible (still shared, duplicate key, or
+        budget-evicted) -- and removed from the slot's table, so the
+        caller's ``reset`` only returns the remaining tail.  Offered
+        deepest-first: under a tight budget the shallow pages every
+        prefix sibling shares displace this request's specific tail.
+
+        Only a **prefix-closed** run is offered: :meth:`lookup` walks
+        from page 0 and stops at the first missing entry, so a page
+        that can be neither parked (a resident sharer still maps it --
+        that sharer is the better, fork-able source anyway) nor is
+        already cached ends the run, and everything past it is released
+        outright rather than parked unreachable.
+        """
+        prompt = tuple(int(t) for t in prompt_ids)
+        n_full = min(len(prompt) // self.pool.page_size,
+                     len(slot.page_table))
+        if n_full == 0:
+            return 0
+        pool = self.pool
+        page_size = pool.page_size
+        keys = chained_prefix_keys(prompt[:n_full * page_size], page_size)
+        n_run = 0
+        for i in range(n_full):
+            if pool._refcount[slot.page_table[i]] == 1 or \
+                    keys[i] in self._entries:
+                n_run = i + 1
+            else:
+                break
+        parked = 0
+        for i in reversed(range(n_run)):
+            parked += self._offer(
+                keys[i], prompt[:(i + 1) * page_size], slot.page_table[i]
+            )
+        if n_run < n_full:
+            pool._release_pages(slot.page_table[n_run:n_full])
+        del slot.page_table[:n_full]
+        return parked
+
+    def _offer(self, key, prefix: tuple, page: int) -> bool:
+        """Drop one reference on ``page``; park it if it reaches zero."""
+        pool = self.pool
+        if key in self._entries:
+            # Already cached from another retirement: keep that entry,
+            # but refresh its recency -- offers run deepest-first, so
+            # the touch keeps a chain's head at least as recent as the
+            # deeper entries just parked behind it, and LRU eviction
+            # breaks chains tail-first instead of stranding a tail
+            # behind an aged-out head.
+            self._entries.move_to_end(key)
+            pool._release_pages([page])
+            return False
+        if pool._refcount[page] > 1:
+            # Still mapped by a resident sharer -- which the PrefixIndex
+            # already exposes as the better, fork-able source.
+            pool._release_pages([page])
+            return False
+        while len(self._entries) >= self.cache_pages:
+            self.evict_lru()
+        pool._park_page(page)
+        self._entries[key] = (page, prefix)
+        self._key_by_page[page] = key
+        self.pages_parked += 1
+        return True
+
+    # -- revive (admission path) -------------------------------------------
+
+    def lookup(self, prompt_ids) -> list:
+        """Cached pages of the longest aligned prefix of ``prompt_ids``.
+
+        Walks pages 0, 1, ... while the chained key hits and the stored
+        prefix tuple matches (collision guard); stops one page short of
+        covering the whole prompt so at least one token is left to
+        prefill for last-position logits.  Returns the page-index chain
+        (possibly empty); pass it unmodified to
+        :meth:`PagedKVCache.revive`.
+        """
+        prompt = tuple(int(t) for t in prompt_ids)
+        page_size = self.pool.page_size
+        cap = (len(prompt) - 1) // page_size
+        pages = []
+        key = 0
+        for i in range(cap):
+            key = hash((key, prompt[i * page_size:(i + 1) * page_size]))
+            entry = self._entries.get(key)
+            if entry is None or entry[1] != prompt[:(i + 1) * page_size]:
+                break
+            pages.append(entry[0])
+        if pages:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return pages
+
+    def take(self, pages) -> None:
+        """Remove ``pages`` from the cache and pin them (refcount 1)."""
+        for page in pages:
+            key = self._key_by_page.pop(page)
+            del self._entries[key]
+            self.pool._pin_page(page)
+            self.pages_revived += 1
+
+    # -- eviction ------------------------------------------------------------
+
+    def evict_lru(self) -> int:
+        """Free the least-recently-parked page; returns its index."""
+        if not self._entries:
+            raise RuntimeError("prefix cache is empty; nothing to evict")
+        key, (page, _) = self._entries.popitem(last=False)
+        del self._key_by_page[page]
+        self.pool._evict_page(page)
+        self.evictions += 1
+        return page
 
 
 class PagedKVSlot:
@@ -433,15 +711,21 @@ class PagedKVCache:
 
     def __init__(self, config: ModelConfig, n_slots: int,
                  max_seq_len: int = 0, page_size: int = DEFAULT_PAGE_SIZE,
-                 n_pages: int = 0):
+                 n_pages: int = 0, cache_pages: int = 0):
         if n_slots < 1:
             raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        if cache_pages < 0:
+            raise ValueError(f"cache_pages must be >= 0, got {cache_pages}")
         self.config = config
         self.n_slots = n_slots
         self.max_seq_len = max_seq_len or config.max_seq_len
         worst_case = -(-self.max_seq_len // page_size)
         self.pool = PagePool(config, n_pages or n_slots * worst_case,
                              page_size)
+        self.prefix_cache = (
+            PrefixCache(self.pool, cache_pages) if cache_pages else None
+        )
+        self.pool.prefix_cache = self.prefix_cache
         self._slots = [PagedKVSlot(self.pool, i, self.max_seq_len)
                        for i in range(n_slots)]
         self._free = list(range(n_slots - 1, -1, -1))   # pop() -> lowest index
@@ -473,6 +757,10 @@ class PagedKVCache:
     @property
     def n_shared_pages(self) -> int:
         return self.pool.n_shared_pages
+
+    @property
+    def n_cached_pages(self) -> int:
+        return self.pool.n_cached_pages
 
     @property
     def kv_bytes(self) -> int:
@@ -535,12 +823,21 @@ class PagedKVCache:
             slot.reserve(max_positions)
         return slot
 
-    def release(self, slot: PagedKVSlot) -> None:
-        """Return a slot, its pages, and any unused reservation."""
+    def release(self, slot: PagedKVSlot, prompt_ids=None) -> None:
+        """Return a slot, its pages, and any unused reservation.
+
+        With ``prompt_ids`` (the sequence's prompt) and an active prefix
+        cache, the slot's full prompt-prefix pages are *parked* in the
+        cache (:meth:`PrefixCache.park`) instead of freed, so a later
+        request sharing the prefix can :meth:`revive` them.  Without
+        either, behaviour is exactly the pre-cache release.
+        """
         if slot._pool is not self.pool:
             raise ValueError("slot belongs to a different cache")
         if slot.index in self._free_set:
             raise ValueError(f"slot {slot.index} released twice")
+        if prompt_ids is not None and self.prefix_cache is not None:
+            self.prefix_cache.park(slot, prompt_ids)
         slot.reset()
         self._free.append(slot.index)
         self._free_set.add(slot.index)
@@ -628,4 +925,96 @@ class PagedKVCache:
             self.pool.keys[new] = self.pool.keys[old]
             self.pool.values[new] = self.pool.values[old]
         slot.length = shared_positions
+        return slot
+
+    # -- cross-request prefix cache ----------------------------------------
+
+    def find_cached_prefix(self, prompt_ids) -> tuple:
+        """``(pages, positions)`` of the longest revivable cached prefix.
+
+        ``pages`` is the chain to pass to :meth:`revive`; ``positions``
+        is always ``len(pages) * page_size`` (cached sharing is
+        page-granular -- unlike a fork there is no donor to copy a
+        partial trailing page from).  ``([], 0)`` when no prefix cache
+        is configured or nothing matches.
+        """
+        if self.prefix_cache is None:
+            return [], 0
+        pages = self.prefix_cache.lookup(prompt_ids)
+        return pages, len(pages) * self.page_size
+
+    def revive_page_demand(self, n_cached_pages: int,
+                           max_positions: int) -> int:
+        """Pages a revive must be able to claim or reserve right now.
+
+        Mirrors :meth:`fork_page_demand`: the revived pages are already
+        resident (they come out of the cache), so only the worst case
+        *beyond* them must be backed.
+        """
+        revived = n_cached_pages * self.page_size
+        total = min(max_positions or revived, self.max_seq_len)
+        return max(self.pool.pages_for(total) - n_cached_pages, 0)
+
+    def can_revive(self, n_cached_pages: int, max_positions: int = 0) -> bool:
+        """Whether :meth:`revive` of that many cached pages fits now.
+
+        Pinning removes the revived pages from the reclaimable set, so
+        the unshared demand is checked against the availability that
+        remains *after* the pin.
+        """
+        if not self._free or n_cached_pages < 1:
+            return False
+        revived = n_cached_pages * self.page_size
+        if max_positions and max_positions < revived:
+            return False
+        demand = self.revive_page_demand(n_cached_pages, max_positions)
+        return demand <= self.pool.n_available_pages - n_cached_pages
+
+    def revive(self, pages, max_positions: int = 0) -> PagedKVSlot:
+        """Re-pin a cached prefix chain into a fresh slot.
+
+        ``pages`` must come from :meth:`find_cached_prefix` (or
+        :meth:`PrefixCache.lookup`) in the same admission -- the chain
+        is consumed: entries leave the cache, each page's refcount goes
+        0 -> 1 in the new slot's table, and the slot starts at ``length
+        == len(pages) * page_size`` holding the exact K/V the original
+        prefill wrote.  ``max_positions`` reserves only the worst case
+        beyond the revived pages, like a fork.
+        """
+        if self.prefix_cache is None:
+            raise RuntimeError(
+                "cache built without cache_pages > 0 cannot revive"
+            )
+        n_cached = len(pages)
+        if n_cached < 1:
+            raise ValueError("revive needs at least one cached page")
+        revived = n_cached * self.page_size
+        if max_positions and max_positions < revived:
+            raise ValueError(
+                f"max_positions {max_positions} is below the revived "
+                f"prefix length {revived}"
+            )
+        if revived > self.max_seq_len:
+            raise ValueError(
+                f"revived prefix length {revived} exceeds max_seq_len "
+                f"{self.max_seq_len}"
+            )
+        if not self._free:
+            raise RuntimeError("no free KV slots")
+        demand = self.revive_page_demand(n_cached, max_positions)
+        if demand > self.pool.n_available_pages - n_cached:
+            raise RuntimeError(
+                f"cannot revive a {revived}-position prefix: needs "
+                f"{demand} pages beyond the cached chain, "
+                f"{self.pool.n_available_pages - n_cached} available"
+            )
+        self.prefix_cache.take(pages)
+        index = self._free.pop()
+        self._free_set.discard(index)
+        slot = self._slots[index]
+        slot.reset()
+        slot.page_table.extend(pages)
+        if max_positions:
+            slot.reserve(max_positions)   # charges only beyond the chain
+        slot.length = revived
         return slot

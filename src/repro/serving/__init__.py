@@ -38,7 +38,14 @@ Pieces:
   donor's refcounted KV pages (copy-on-write, charged only their
   unshared worst case), skip the shared prefill, and keep the decode
   batch's sign patterns correlated so the intersection decays slower
-  than the independent ``skip^B``.
+  than the independent ``skip^B``.  ``cache_pages > 0`` extends sharing
+  across non-overlapping lifetimes: retired prompt prefixes are parked
+  in an LRU :class:`~repro.model.paged_kvcache.PrefixCache` and revived
+  by later admissions (lookup order: resident fork -> cache revive ->
+  cold prefill).
+
+``docs/serving.md`` walks the whole pipeline and tabulates every engine
+knob and every ``ServeReport`` telemetry field.
 """
 
 from .batch_mlp import BatchedMLPStats, BatchedSparseInferMLP

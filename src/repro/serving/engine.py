@@ -23,6 +23,22 @@ shared positions' K/V a pure function of the shared tokens, so the forked
 request's outputs stay bit-identical to an unshared admission -- prefix
 sharing changes *where* K/V comes from and *how much* prefill runs, never
 what is decoded.
+
+``cache_pages > 0`` extends sharing across non-overlapping lifetimes: a
+retiring sequence's prompt-prefix pages are parked in a
+:class:`repro.model.paged_kvcache.PrefixCache` (LRU, same chained page
+hash as the :class:`PrefixIndex`) instead of freed, and a later request
+can *revive* them -- re-pin the pages into its slot and prefill only the
+suffix.  Admission lookup order is resident-donor fork -> prefix-cache
+revive -> cold prefill.
+
+Equivalence guarantees (unchanged by every knob above): a batch of one
+decodes **bit-identical** to :func:`repro.core.engine.build_engine`, and
+batch > 1 / chunked prefill are **token-identical** across the
+fixed/paged/prefix-shared/prefix-cached cache matrix.  See
+``docs/serving.md`` for the architecture walkthrough, the full
+``build_batched_engine`` knob table, and the ``ServeReport`` telemetry
+glossary.
 """
 
 from __future__ import annotations
@@ -40,7 +56,11 @@ from ..model.batch_attention import (
 )
 from ..model.inference import attend_single, forward_token_single
 from ..model.kvcache import BatchedKVCache, KVSlot
-from ..model.paged_kvcache import DEFAULT_PAGE_SIZE, PagedKVCache
+from ..model.paged_kvcache import (
+    DEFAULT_PAGE_SIZE,
+    PagedKVCache,
+    chained_prefix_keys,
+)
 from ..model.mlp import DenseMLP, MLPExecutor
 from ..model.norm import rmsnorm
 from ..model.rope import apply_rope, rope_for_position, rope_tables
@@ -79,14 +99,17 @@ class PrefixIndex:
         return len(self._prompts)
 
     def _aligned_keys(self, prompt: tuple) -> list:
-        """Chained bucket keys, ``keys[i]`` covering ``prompt[:(i+1)*ps]``."""
-        keys = []
-        key = 0
-        page_size = self.page_size
-        for start in range(0, len(prompt) - page_size + 1, page_size):
-            key = hash((key, prompt[start:start + page_size]))
-            keys.append(key)
-        return keys
+        """Chained bucket keys, ``keys[i]`` covering ``prompt[:(i+1)*ps]``.
+
+        The same key scheme indexes the cross-request
+        :class:`~repro.model.paged_kvcache.PrefixCache`, so a prefix
+        retired from this index is findable there under identical keys.
+        """
+        return chained_prefix_keys(prompt, self.page_size)
+
+    def prompt_of(self, slot_index: int):
+        """The registered prompt tuple of ``slot_index``, or None."""
+        return self._prompts.get(slot_index)
 
     def insert(self, slot_index: int, prompt_ids) -> None:
         if slot_index in self._prompts:
@@ -171,6 +194,17 @@ class BatchedEngine:
         admissions to fork a resident sequence's KV pages
         (copy-on-write) instead of re-prefilling a shared prefix.
         Requires ``paged=True``.
+    cache_pages:
+        When > 0, keep up to this many retired prompt-prefix pages
+        alive in an LRU :class:`~repro.model.paged_kvcache.PrefixCache`
+        so bursty same-prefix requests whose lifetimes never overlap
+        can still share: admission *revives* cached pages (re-pins them
+        into the new slot) and prefills only the suffix.  The budget is
+        carved out of ``n_pages`` -- cached pages stay reclaimable, the
+        allocator evicts LRU entries on demand, so reservations and
+        admission guarantees are unchanged.  Requires
+        ``prefix_sharing=True``; 0 (the default) is bit-identical to no
+        cache.
     batched_attention:
         Compute decode attention for the whole batch at once
         (:class:`~repro.model.batch_attention.BatchedAttention`: padded
@@ -202,6 +236,7 @@ class BatchedEngine:
         page_size: int = DEFAULT_PAGE_SIZE,
         n_pages: int = 0,
         prefix_sharing: bool = False,
+        cache_pages: int = 0,
         batched_attention: bool = False,
         attn_bucket_min_fill: float = DEFAULT_BUCKET_MIN_FILL,
         prefill_chunk: int = 0,
@@ -230,11 +265,15 @@ class BatchedEngine:
         self.paged = paged
         if prefix_sharing and not paged:
             raise ValueError("prefix_sharing requires paged=True")
+        if cache_pages and not prefix_sharing:
+            raise ValueError("cache_pages requires prefix_sharing=True")
         self.prefix_sharing = prefix_sharing
+        self.cache_pages = cache_pages
         if paged:
             self.cache = PagedKVCache(
                 self.config, max_batch_size, max_seq_len,
                 page_size=page_size, n_pages=n_pages,
+                cache_pages=cache_pages,
             )
         else:
             self.cache = BatchedKVCache(
@@ -274,10 +313,22 @@ class BatchedEngine:
         return self.cache.allocate(max_positions)
 
     def release_slot(self, slot: KVSlot) -> None:
+        """Retire a sequence; with a prefix cache, park its prefix pages.
+
+        The retiring sequence's prompt (as registered by
+        :meth:`register_prefix`) keys the parked pages, so an identical
+        future prefix can revive them.  Unregistered slots -- or engines
+        without ``cache_pages`` -- release exactly as before.
+        """
+        prompt = None
         if self._prefix_index is not None:
+            prompt = self._prefix_index.prompt_of(slot.index)
             self._prefix_index.remove(slot.index)
             self._resident.pop(slot.index, None)
-        self.cache.release(slot)
+        if prompt is not None and self.prefix_cache is not None:
+            self.cache.release(slot, prompt_ids=prompt)
+        else:
+            self.cache.release(slot)
 
     # -- prefix sharing ----------------------------------------------------
 
@@ -324,6 +375,43 @@ class BatchedEngine:
             return
         self._resident[slot.index] = slot
         self._prefix_index.insert(slot.index, prompt_ids)
+
+    # -- cross-request prefix cache ----------------------------------------
+
+    @property
+    def prefix_cache(self):
+        """The cross-request :class:`PrefixCache`, or None."""
+        return getattr(self.cache, "prefix_cache", None)
+
+    def find_cached_prefix(self, prompt_ids) -> tuple:
+        """``(pages, positions)`` of the longest revivable cached prefix.
+
+        Checked *after* :meth:`find_prefix_donor` fails (resident
+        sharing is cheaper: it needs no pinning and can share past page
+        alignment) and before falling back to a cold prefill.
+        """
+        if self.prefix_cache is None or len(prompt_ids) < 2:
+            return [], 0
+        return self.cache.find_cached_prefix(prompt_ids)
+
+    def can_revive(self, pages, max_positions: int = 0) -> bool:
+        """Whether reviving this cached chain fits right now."""
+        if self.prefix_cache is None or not pages:
+            return False
+        return self.cache.can_revive(len(pages), max_positions)
+
+    def revive_slot(self, pages, max_positions: int = 0) -> KVSlot:
+        """Claim a slot whose prefix comes from the cached chain.
+
+        The new slot starts at ``length == len(pages) * page_size``;
+        callers prefill only the prompt suffix, exactly as after
+        :meth:`fork_slot`.
+        """
+        if self.prefix_cache is None:
+            raise RuntimeError(
+                "engine built without cache_pages > 0 cannot revive"
+            )
+        return self.cache.revive(pages, max_positions)
 
     # -- forward passes ----------------------------------------------------
 

@@ -10,7 +10,14 @@ Each scheduler tick:
    page demand (``ceil((prompt + max_new - 1) / page_size)`` pages must
    be reservable), so an admitted sequence can never starve for pages
    mid-decode; zero-token requests complete immediately without a slot
-   or a prefill;
+   or a prefill.  With prefix sharing the lookup order per admission is
+   **resident-donor fork -> prefix-cache revive -> cold prefill**: a
+   live donor's pages are forked copy-on-write, else (``cache_pages >
+   0``) a retired prefix still cached is revived
+   (:meth:`~repro.serving.engine.BatchedEngine.revive_slot`), else the
+   whole prompt prefills cold.  Both shared paths charge only the
+   unshared worst case -- cached pages count as reservable because the
+   pool evicts them on demand;
 3. run one batched decode step over all active sequences and sample each
    sequence's next token.
 
@@ -85,7 +92,15 @@ class ServeReport:
     admitted by forking a resident donor, ``prefill_tokens_saved`` sums
     the shared positions whose prefill those forks skipped, and the
     ``shared_pages`` fields track physical pages mapped by more than one
-    sequence.  ``intersection_skip`` is the realised cross-sequence skip
+    sequence.
+
+    Prefix-cache telemetry (engine runs ``cache_pages > 0``):
+    ``revived_admissions`` counts admissions served by re-pinning
+    retired prefix pages, ``revived_tokens`` sums the prompt positions
+    those revives did not re-prefill, ``cache_evictions`` counts cached
+    pages reclaimed (LRU budget or on-demand by the allocator), and the
+    ``cached_pages`` fields track how much of the cache budget actually
+    held pages per tick.  ``intersection_skip`` is the realised cross-sequence skip
     fraction at weight-read granularity; ``expected_uncorrelated_skip``
     is the analytical ``skip^B`` decay it would have suffered with
     independent sequences (``B`` = mean batch occupancy, the
@@ -109,6 +124,12 @@ class ServeReport:
     prefill_tokens_saved: int = 0      # prompt positions reused, not re-run
     shared_pages_sum: int = 0          # sum of shared pages over decode steps
     peak_shared_pages: int = 0
+    cache_pages: int = 0               # prefix-cache budget (0 = disabled)
+    revived_admissions: int = 0        # admissions served from the cache
+    revived_tokens: int = 0            # prompt positions revived, not re-run
+    cache_evictions: int = 0           # cached pages reclaimed (LRU/demand)
+    cached_pages_sum: int = 0          # sum of cached pages over decode steps
+    peak_cached_pages: int = 0
     intersection_skip: float = 0.0     # realised cross-sequence skip
     mean_sequence_skip: float = 0.0    # per-sequence (batch=1) ceiling
     expected_uncorrelated_skip: float = 0.0   # skip^B at mean occupancy
@@ -144,10 +165,34 @@ class ServeReport:
         return self.shared_pages_sum / self.decode_steps if self.decode_steps else 0.0
 
     @property
+    def total_prompt_tokens(self) -> int:
+        """Prompt positions across all admissions, however served."""
+        return (self.prefill_tokens + self.prefill_tokens_saved
+                + self.revived_tokens)
+
+    @property
     def prefill_sharing_fraction(self) -> float:
-        """Fraction of prompt positions served from shared KV."""
-        total = self.prefill_tokens + self.prefill_tokens_saved
+        """Fraction of prompt positions served from a resident fork."""
+        total = self.total_prompt_tokens
         return self.prefill_tokens_saved / total if total else 0.0
+
+    @property
+    def prefill_cache_fraction(self) -> float:
+        """Fraction of prompt positions revived from the prefix cache."""
+        total = self.total_prompt_tokens
+        return self.revived_tokens / total if total else 0.0
+
+    @property
+    def prefill_reuse_fraction(self) -> float:
+        """Fraction of prompt positions not re-prefilled (fork + revive)."""
+        total = self.total_prompt_tokens
+        saved = self.prefill_tokens_saved + self.revived_tokens
+        return saved / total if total else 0.0
+
+    @property
+    def mean_cached_pages(self) -> float:
+        """Mean prefix-cache pages held per decode tick."""
+        return self.cached_pages_sum / self.decode_steps if self.decode_steps else 0.0
 
     @property
     def skip_retained_vs_uncorrelated(self) -> float:
@@ -216,7 +261,15 @@ class ContinuousBatchingScheduler:
         self.step_count = 0
         self._head_skips = 0       # consecutive admissions that bypassed head
         self.report = ServeReport(
-            n_pages=getattr(engine.cache, "n_pages", 0)
+            n_pages=getattr(engine.cache, "n_pages", 0),
+            cache_pages=getattr(engine, "cache_pages", 0),
+        )
+        # The prefix cache's eviction counter is cumulative across the
+        # engine's lifetime; snapshot it so a reused engine still yields
+        # per-run telemetry.
+        prefix_cache = getattr(engine, "prefix_cache", None)
+        self._evictions_baseline = (
+            prefix_cache.evictions if prefix_cache is not None else 0
         )
         # Engine attention counters are cumulative across its lifetime;
         # snapshot them so a reused (or pre-warmed) engine still yields
@@ -285,6 +338,9 @@ class ContinuousBatchingScheduler:
 
     def _complete(self, seq: _ActiveSequence) -> Completion:
         self.engine.release_slot(seq.slot)
+        # Retirement is the moment pages get parked; sample here so the
+        # cached-page peak sees a burst's tail, not just decode ticks.
+        self._sample_cache_telemetry(tick=False)
         completion = Completion(
             request=seq.request,
             generated_ids=list(seq.generated_ids),
@@ -296,34 +352,46 @@ class ContinuousBatchingScheduler:
         return completion
 
     def _admission_plan(self, request: Request) -> tuple:
-        """``(donor, shared, needed, fits)`` for admitting ``request``.
+        """``(donor, shared, pages, needed, fits)`` for admitting ``request``.
 
-        Forking is preferred whenever a live donor shares a prefix and
-        the fork's (strictly smaller) page demand fits; otherwise the
-        plan falls back to a plain worst-case allocation.
+        The lookup cascade is resident-donor fork -> prefix-cache revive
+        -> cold prefill: a live donor's pages are cheapest (no pinning,
+        shareable past page alignment), a cached chain still skips its
+        prefill, and a plain worst-case allocation is the fallback.
+        ``shared`` is the positions the chosen path skips (donor-shared
+        for a fork, chain length for a revive); ``pages`` is the cached
+        chain to revive or None.
         """
         needed = self._worst_case_positions(request)
         if self.engine.prefix_sharing:
             donor, shared = self.engine.find_prefix_donor(request.prompt_ids)
             if donor is not None and \
                     self.engine.can_fork(donor, shared, needed):
-                return donor, shared, needed, True
-        return None, 0, needed, self.engine.can_admit(needed)
+                return donor, shared, None, needed, True
+            pages, revived = self.engine.find_cached_prefix(
+                request.prompt_ids
+            )
+            if pages and self.engine.can_revive(pages, needed):
+                return None, revived, pages, needed, True
+        return None, 0, None, needed, self.engine.can_admit(needed)
 
     def _choose_admission(self, head: Request) -> Optional[tuple]:
         """The next admission: the head, or a bounded-window jump.
 
-        Returns ``(queue_index, request, donor, shared, needed)`` or
-        ``None`` when nothing can be admitted this tick.  A request
+        Returns ``(queue_index, request, donor, shared, pages, needed)``
+        or ``None`` when nothing can be admitted this tick.  A request
         later in the window is chosen only when it shares a live prefix
-        *longer* than whatever the head can share, its fork fits, and
-        the head has not yet been bypassed ``reorder_window - 1`` times
-        in a row -- after that the head is guaranteed to be the next
-        admission, bounding starvation.
+        *longer* than whatever the head's plan already skips (fork or
+        revive), its fork fits, and the head has not yet been bypassed
+        ``reorder_window - 1`` times in a row -- after that the head is
+        guaranteed to be the next admission, bounding starvation.
+        Window jumps stay donor-based: their point is co-scheduling
+        correlated sign patterns with a *live* sharer, which a cached
+        (retired) prefix cannot offer.
         """
-        donor, shared, needed, fits = self._admission_plan(head)
-        best = (0, head, donor, shared, needed) if fits else None
-        best_shared = shared if fits and donor is not None else 0
+        donor, shared, pages, needed, fits = self._admission_plan(head)
+        best = (0, head, donor, shared, pages, needed) if fits else None
+        best_shared = shared if fits else 0
         if self.reorder_window > 1 and self.engine.prefix_sharing and \
                 self._head_skips < self.reorder_window - 1:
             for i, request in enumerate(self.queue.window(self.reorder_window)):
@@ -340,7 +408,7 @@ class ContinuousBatchingScheduler:
                     continue
                 if not self.engine.can_fork(c_donor, c_shared, c_needed):
                     continue
-                best = (i, request, c_donor, c_shared, c_needed)
+                best = (i, request, c_donor, c_shared, None, c_needed)
                 best_shared = c_shared
         return best
 
@@ -387,7 +455,7 @@ class ContinuousBatchingScheduler:
                 # The head waits for a seat and slots/pages, and no
                 # in-window prefix-sharer can take its place.
                 break
-            index, request, donor, shared, needed = choice
+            index, request, donor, shared, pages, needed = choice
             self.queue.pop_at(index)
             if index == 0:
                 self._head_skips = 0
@@ -401,6 +469,14 @@ class ContinuousBatchingScheduler:
                 prompt_suffix = request.prompt_ids[shared:]
                 self.report.forked_admissions += 1
                 self.report.prefill_tokens_saved += shared
+            elif pages:
+                # Revive: the prefix K/V is re-pinned from the cross-
+                # request cache -- same prefill saving as a fork, but
+                # the donor retired long ago.
+                slot = self.engine.revive_slot(pages, needed)
+                prompt_suffix = request.prompt_ids[shared:]
+                self.report.revived_admissions += 1
+                self.report.revived_tokens += shared
             else:
                 slot = self.engine.allocate_slot(needed)
                 prompt_suffix = request.prompt_ids
@@ -425,6 +501,7 @@ class ContinuousBatchingScheduler:
                     self.report.peak_shared_pages,
                     self.engine.cache.n_shared_pages,
                 )
+                self._sample_cache_telemetry(tick=False)
             first = self._greedy(logits)
             if request.stop_ids and first in request.stop_ids:
                 finished.append(self._complete(seq))
@@ -435,6 +512,24 @@ class ContinuousBatchingScheduler:
                 self.active.append(seq)
             else:
                 finished.append(self._complete(seq))
+
+    def _sample_cache_telemetry(self, tick: bool) -> None:
+        """Refresh prefix-cache gauges; ``tick`` adds to per-step sums.
+
+        Called at admission (pages may be parked/evicted by the prefill
+        claims of the admission itself) and once per decode step.
+        """
+        if not self.report.cache_pages:
+            return
+        cached = self.engine.cache.n_cached_pages
+        if tick:
+            self.report.cached_pages_sum += cached
+        self.report.peak_cached_pages = max(
+            self.report.peak_cached_pages, cached
+        )
+        self.report.cache_evictions = (
+            self.engine.prefix_cache.evictions - self._evictions_baseline
+        )
 
     def step(self) -> List[Completion]:
         """One scheduler tick; returns the requests that finished in it."""
@@ -465,6 +560,7 @@ class ContinuousBatchingScheduler:
             self.report.peak_shared_pages = max(
                 self.report.peak_shared_pages, shared
             )
+            self._sample_cache_telemetry(tick=True)
 
         if self.engine.batched_attention:
             attn = self.engine.attn_telemetry

@@ -1,16 +1,23 @@
-"""Randomized property tests for the paged KV cache's fork/COW lifecycle.
+"""Randomized property tests for the paged KV cache's fork/COW/prefix-cache lifecycle.
 
 Drives :class:`PagePool` / :class:`PagedKVSlot` / :meth:`PagedKVCache.fork`
-through random interleavings of allocate / fork / append / rewrite /
-release against a pure-python model of the expected contents, asserting
-after every operation:
+/ :class:`PrefixCache` through random interleavings of allocate / fork /
+append / rewrite / release / retire / revive against a pure-python model
+of the expected contents, asserting after every operation:
 
-* ``free + in_use == n_pages`` (no page is ever lost or double-counted);
-* ``0 <= reserved <= free`` (admission promises are always backable);
+* ``free + in_use + cached == n_pages`` (no page is ever lost or
+  double-counted; every page is exactly one of free, pinned, cached);
+* ``0 <= reserved <= free + cached`` (admission promises are always
+  backable -- cached pages are reclaimable on demand);
 * every page's refcount equals the number of live page tables mapping
-  it, and exactly the zero-refcount pages are on the free list;
+  it; exactly the refcount-0 pages are free or cached, and the cached
+  set is exactly the prefix cache's entries;
 * releasing a forked slot never frees (or corrupts) a page its donor
-  still maps -- every surviving slot's K/V always matches the model.
+  still maps, and LRU eviction under page pressure never touches a
+  pinned (refcounted) page -- every surviving slot's K/V always matches
+  the model;
+* a revived prefix chain holds bit-for-bit the K/V its retired writer
+  parked.
 """
 
 from collections import Counter
@@ -26,8 +33,10 @@ N_PAGES = 10
 
 def check_invariants(cache: PagedKVCache, live: dict) -> None:
     pool = cache.pool
-    assert pool.n_free_pages + pool.n_pages_in_use == pool.n_pages
-    assert 0 <= pool._reserved <= pool.n_free_pages
+    assert pool.n_free_pages + pool.n_pages_in_use + pool.n_cached_pages \
+        == pool.n_pages
+    assert 0 <= pool._reserved <= pool.n_free_pages + pool.n_cached_pages
+    assert not (pool._free_set & pool._cached_set)
     refs = Counter()
     for slot, _ in live.values():
         refs.update(slot.page_table)
@@ -36,9 +45,18 @@ def check_invariants(cache: PagedKVCache, live: dict) -> None:
             f"page {page}: refcount {pool.refcount(page)} != "
             f"{refs.get(page, 0)} table references"
         )
-        assert (page in pool._free_set) == (refs.get(page, 0) == 0)
+        unmapped = page in pool._free_set or page in pool._cached_set
+        assert unmapped == (refs.get(page, 0) == 0)
     shared = sum(1 for page, n in refs.items() if n > 1)
     assert pool.n_shared_pages == shared
+    if cache.prefix_cache is not None:
+        entry_pages = {page for page, _ in
+                       cache.prefix_cache._entries.values()}
+        assert entry_pages == pool._cached_set
+        assert len(cache.prefix_cache) <= cache.prefix_cache.cache_pages
+        assert set(cache.prefix_cache._key_by_page) == entry_pages
+    else:
+        assert not pool._cached_set
 
 
 def check_contents(cache: PagedKVCache, live: dict, n_layers: int) -> None:
@@ -236,3 +254,309 @@ def test_share_free_page_rejected(micro_config):
                          page_size=4, n_pages=4)
     with pytest.raises(ValueError, match="share free page"):
         cache.pool._share_page(0)
+
+
+# -- cross-request prefix cache (LRU page retention) ------------------------
+
+
+@pytest.mark.parametrize("page_size", [1, 3, 4])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_interleavings_with_prefix_cache(micro_config, page_size,
+                                                seed):
+    """The fork/COW interleaving property, extended with retire/revive.
+
+    ``retire`` releases a slot *with its prompt* (current stamps), so
+    eligible prefix pages are parked rather than freed; ``revive`` looks
+    up a previously retired prompt and, if a chain is cached, pins it
+    into a fresh slot -- whose contents must then equal the stamps the
+    retired sequence wrote, bit for bit.  All the shared-pool invariants
+    (including ``free + in_use + cached == n_pages``) hold after every
+    operation.
+    """
+    rng = np.random.default_rng(seed)
+    max_seq_len = page_size * 6
+    cache = PagedKVCache(micro_config, n_slots=N_SLOTS,
+                         max_seq_len=max_seq_len, page_size=page_size,
+                         n_pages=N_PAGES, cache_pages=N_PAGES // 2)
+    n_layers, d = micro_config.n_layers, micro_config.d_model
+    live: dict = {}               # slot index -> (slot, expected stamps)
+    retired: list = []            # prompts (stamp tuples) seen by the cache
+    stamp = 0.0
+
+    for op_index in range(200):
+        op = rng.choice(["allocate", "fork", "append", "rewrite",
+                         "release", "retire", "revive"])
+        if op == "allocate":
+            max_positions = int(rng.integers(0, max_seq_len + 1))
+            if cache.n_free == 0 or \
+                    (max_positions and not cache.can_admit(max_positions)):
+                with pytest.raises(RuntimeError):
+                    cache.allocate(max_positions)
+                continue
+            slot = cache.allocate(max_positions)
+            live[slot.index] = (slot, [])
+        elif op == "fork":
+            donors = [(s, st) for s, st in live.values() if s.length > 0]
+            if not donors:
+                continue
+            donor, donor_stamps = donors[int(rng.integers(len(donors)))]
+            shared = int(rng.integers(1, donor.length + 1))
+            max_positions = int(rng.choice([0, shared, max_seq_len]))
+            if not cache.can_fork(donor, shared, max_positions):
+                with pytest.raises((RuntimeError, ValueError)):
+                    cache.fork(donor, shared, max_positions)
+                continue
+            slot = cache.fork(donor, shared, max_positions)
+            live[slot.index] = (slot, list(donor_stamps[:shared]))
+        elif op == "append":
+            growable = [(s, st) for s, st in live.values()
+                        if s.length < max_seq_len]
+            if not growable:
+                continue
+            slot, stamps = growable[int(rng.integers(len(growable)))]
+            stamp += 1.0
+            try:
+                write_position(slot, n_layers, d, slot.length, stamp)
+            except RuntimeError:
+                continue          # pool exhausted / all free pages reserved
+            slot.advance()
+            stamps.append(stamp)
+        elif op == "rewrite":
+            writable = [(s, st) for s, st in live.values() if s.length > 0]
+            if not writable:
+                continue
+            slot, stamps = writable[int(rng.integers(len(writable)))]
+            position = int(rng.integers(slot.length))
+            stamp += 1.0
+            try:
+                write_position(slot, n_layers, d, position, stamp)
+            except RuntimeError:
+                continue          # COW could not claim an unreserved page
+            stamps[position] = stamp
+        elif op == "release":
+            if not live:
+                continue
+            index = int(rng.choice(list(live)))
+            slot, _ = live.pop(index)
+            cache.release(slot)
+        elif op == "retire":
+            # Release with the prompt: prefix pages get parked.  The
+            # "prompt" is the stamps the slot currently holds, so a
+            # later revive can be checked against them.
+            if not live:
+                continue
+            index = int(rng.choice(list(live)))
+            slot, stamps = live.pop(index)
+            prompt = tuple(int(s) for s in stamps)
+            cache.release(slot, prompt_ids=prompt)
+            if len(prompt) >= page_size + 1:
+                retired.append(prompt)
+        else:   # revive
+            if not retired:
+                continue
+            prompt = retired[int(rng.integers(len(retired)))]
+            pages = cache.prefix_cache.lookup(prompt)
+            if not pages:
+                continue
+            max_positions = int(rng.choice([0, len(pages) * page_size,
+                                            max_seq_len]))
+            if not cache.can_revive(len(pages), max_positions):
+                with pytest.raises((RuntimeError, ValueError)):
+                    cache.revive(pages, max_positions)
+                continue
+            slot = cache.revive(pages, max_positions)
+            revived = len(pages) * page_size
+            assert slot.length == revived
+            # Revived K/V is bit-for-bit what the retired writer parked.
+            for layer in range(n_layers):
+                keys, values = slot.view(layer, revived)
+                expect = np.array([float(t) for t in prompt[:revived]])
+                np.testing.assert_array_equal(keys[:, 0], expect)
+                np.testing.assert_array_equal(values[:, 0], -expect)
+            live[slot.index] = (slot, [float(t) for t in prompt[:revived]])
+        check_invariants(cache, live)
+        if op_index % 10 == 0:
+            check_contents(cache, live, n_layers)
+
+    check_contents(cache, live, n_layers)
+    for slot, _ in list(live.values()):
+        cache.release(slot)
+    live.clear()
+    check_invariants(cache, live)
+    assert cache.n_pages_in_use == 0
+    assert cache.pool._reserved == 0
+
+
+def test_eviction_under_pressure_never_frees_pinned_pages(micro_config):
+    """Filling the pool on top of a populated cache evicts only cached
+    pages -- pinned (refcounted) pages and their contents survive."""
+    cache = PagedKVCache(micro_config, n_slots=3, max_seq_len=16,
+                         page_size=4, n_pages=8, cache_pages=8)
+    n_layers, d = micro_config.n_layers, micro_config.d_model
+    writer = cache.allocate()
+    for pos in range(8):
+        write_position(writer, n_layers, d, pos, float(pos + 1))
+        writer.advance()
+    prompt = tuple(range(1, 9))
+    cache.release(writer, prompt_ids=prompt)     # parks both full pages
+    assert cache.n_cached_pages == 2
+
+    survivor = cache.allocate()
+    for pos in range(8):
+        write_position(survivor, n_layers, d, pos, 100.0 + pos)
+        survivor.advance()
+    # 2 cached + 2 pinned; claim the remaining 6 pages -> the allocator
+    # must reclaim both cached pages, never the survivor's.
+    hog = cache.allocate()
+    for pos in range(16):
+        write_position(hog, n_layers, d, pos, 200.0 + pos)
+        hog.advance()
+    evicting = cache.allocate()
+    for pos in range(8):
+        write_position(evicting, n_layers, d, pos, 300.0 + pos)
+        evicting.advance()
+    assert cache.n_cached_pages == 0
+    assert cache.prefix_cache.evictions == 2
+    assert cache.pool.n_free_pages == 0
+    keys, _ = survivor.view(0, 8)
+    np.testing.assert_array_equal(keys[:, 0], 100.0 + np.arange(8))
+    # The parked prefix is gone -- lookup must now miss, not resurrect
+    # freed (since overwritten) pages.
+    assert cache.prefix_cache.lookup(prompt) == []
+    # Pool exhausted and cache empty: further claims fail loudly.
+    extra_slot_cache = cache  # same pool
+    with pytest.raises(RuntimeError, match="exhausted"):
+        extra_slot_cache.pool._claim_page(reserved=False)
+
+
+def test_eviction_prefers_deep_pages_of_a_parked_run(micro_config):
+    """Budget pressure drops a retired prefix's tail before its head, so
+    the widely-shared head of a prefix family stays revivable."""
+    cache = PagedKVCache(micro_config, n_slots=2, max_seq_len=16,
+                         page_size=4, n_pages=8, cache_pages=2)
+    n_layers, d = micro_config.n_layers, micro_config.d_model
+    writer = cache.allocate()
+    for pos in range(12):
+        write_position(writer, n_layers, d, pos, float(pos + 1))
+        writer.advance()
+    prompt = tuple(range(1, 13))
+    cache.release(writer, prompt_ids=prompt)     # 3 full pages, budget 2
+    assert cache.n_cached_pages == 2
+    pages = cache.prefix_cache.lookup(prompt)
+    assert len(pages) == 2                       # head survived, tail evicted
+
+
+def test_park_is_prefix_closed_past_a_resident_sharer(micro_config):
+    """A page still mapped by a resident fork ends the parked run: deeper
+    pages are released, not parked unreachable (lookup walks from page 0,
+    so an entry behind a gap could never be revived yet would hold cache
+    budget)."""
+    cache = PagedKVCache(micro_config, n_slots=2, max_seq_len=16,
+                         page_size=4, n_pages=8, cache_pages=8)
+    n_layers, d = micro_config.n_layers, micro_config.d_model
+    donor = cache.allocate()
+    for pos in range(12):
+        write_position(donor, n_layers, d, pos, float(pos + 1))
+        donor.advance()
+    holder = cache.fork(donor, 4)          # keeps page 0 mapped
+    prompt = tuple(range(1, 13))
+    cache.release(donor, prompt_ids=prompt)
+    # Page 0 is still the holder's; pages 1 and 2 would be unreachable
+    # behind the gap, so nothing may be parked.
+    assert cache.n_cached_pages == 0
+    assert len(cache.prefix_cache) == 0
+    assert cache.prefix_cache.lookup(prompt) == []
+    check_invariants(cache, {holder.index: (holder, [1.0, 2.0, 3.0, 4.0])})
+    # When the holder itself retires, its (shorter) prefix parks fine.
+    cache.release(holder, prompt_ids=prompt[:4])
+    # holder held 4 positions = 1 full page -> lookup caps at 0 pages of
+    # a 4-token prompt... but the page itself is parked for longer twins.
+    assert cache.n_cached_pages == 1
+    pages = cache.prefix_cache.lookup(prompt)
+    assert len(pages) == 1                 # head revivable again
+
+
+def test_duplicate_park_refreshes_chain_head_recency(micro_config):
+    """A later retirement extending an already-cached prefix must leave
+    the shared head *newer* in LRU order than its own tail, so eviction
+    breaks the chain tail-first (a head aged out before its tail would
+    strand unreachable entries in the budget)."""
+    cache = PagedKVCache(micro_config, n_slots=1, max_seq_len=16,
+                         page_size=4, n_pages=16, cache_pages=8)
+    n_layers, d = micro_config.n_layers, micro_config.d_model
+    prompt = tuple(range(1, 13))
+    first = cache.allocate()
+    for pos in range(4):
+        write_position(first, n_layers, d, pos, float(pos + 1))
+        first.advance()
+    cache.release(first, prompt_ids=prompt[:4])      # parks the head page
+    second = cache.allocate()
+    for pos in range(12):
+        write_position(second, n_layers, d, pos, float(pos + 1))
+        second.advance()
+    cache.release(second, prompt_ids=prompt)         # extends the chain
+    assert cache.n_cached_pages == 3
+    # One eviction must shed the *deepest* page, not the (older) head.
+    cache.prefix_cache.evict_lru()
+    pages = cache.prefix_cache.lookup(prompt)
+    assert len(pages) == 2                           # chain 0..1 intact
+    cache.prefix_cache.evict_lru()
+    assert len(cache.prefix_cache.lookup(prompt)) == 1
+    check_invariants(cache, {})
+
+
+def test_revive_reserves_only_beyond_the_chain(micro_config):
+    cache = PagedKVCache(micro_config, n_slots=2, max_seq_len=32,
+                         page_size=4, n_pages=10, cache_pages=4)
+    n_layers, d = micro_config.n_layers, micro_config.d_model
+    writer = cache.allocate()
+    for pos in range(8):
+        write_position(writer, n_layers, d, pos, float(pos + 1))
+        writer.advance()
+    cache.release(writer, prompt_ids=tuple(range(1, 9)))
+    assert cache.n_cached_pages == 2
+    assert cache.revive_page_demand(2, 16) == 2      # 4 total - 2 revived
+    pages = cache.prefix_cache.lookup(tuple(range(1, 9)) + (7, 7, 7))
+    assert len(pages) == 2
+    slot = cache.revive(pages, max_positions=16)
+    assert slot.length == 8
+    assert cache.pool._reserved == 2
+    assert cache.n_cached_pages == 0
+    cache.release(slot)
+    assert cache.pool._reserved == 0
+
+
+def test_revive_validation_errors(micro_config):
+    plain = PagedKVCache(micro_config, n_slots=1, max_seq_len=16,
+                         page_size=4, n_pages=4)
+    with pytest.raises(RuntimeError, match="cannot revive"):
+        plain.revive([0])
+    cached = PagedKVCache(micro_config, n_slots=1, max_seq_len=16,
+                          page_size=4, n_pages=8, cache_pages=2)
+    with pytest.raises(ValueError, match="at least one cached page"):
+        cached.revive([])
+    n_layers, d = micro_config.n_layers, micro_config.d_model
+    writer = cached.allocate()
+    for pos in range(8):
+        write_position(writer, n_layers, d, pos, float(pos + 1))
+        writer.advance()
+    cached.release(writer, prompt_ids=tuple(range(1, 9)))
+    pages = cached.prefix_cache.lookup(tuple(range(1, 9)) + (3,))
+    with pytest.raises(ValueError, match="below the revived"):
+        cached.revive(pages, max_positions=4)
+
+
+def test_cache_pages_zero_changes_nothing(micro_config):
+    """``cache_pages=0`` must release exactly as the pre-cache code."""
+    cache = PagedKVCache(micro_config, n_slots=1, max_seq_len=16,
+                         page_size=4, n_pages=4)
+    assert cache.prefix_cache is None
+    n_layers, d = micro_config.n_layers, micro_config.d_model
+    slot = cache.allocate()
+    for pos in range(8):
+        write_position(slot, n_layers, d, pos, 1.0)
+        slot.advance()
+    cache.release(slot, prompt_ids=tuple(range(8)))   # prompt is ignored
+    assert cache.n_cached_pages == 0
+    assert cache.pool.n_free_pages == 4
+    assert cache.find_cached_prefix(tuple(range(8))) == ([], 0)

@@ -638,3 +638,147 @@ class TestServingMetrics:
         table = format_serving_sweep(baseline, [point], [0.5])
         assert "speedup" in table and "sequential" in table
         assert "50.0%" in table
+
+
+def drain_bursty(engine, requests):
+    """Drain requests one at a time (non-overlapping lifetimes).
+
+    Each request is fully decoded before the next is submitted, so no
+    sequence is ever resident when its successor is admitted -- the
+    resident ``PrefixIndex`` can never match, and only the cross-request
+    prefix cache can save prefill.  One scheduler accumulates the report
+    across bursts.
+    """
+    scheduler = ContinuousBatchingScheduler(engine)
+    for request in requests:
+        scheduler.submit(request)
+        scheduler.run()
+    return scheduler.report
+
+
+class TestPrefixCache:
+    BASE = (1, 4, 2, 7, 3, 5, 6, 2, 9, 1, 3, 8)
+
+    def _engine(self, weights, cache_pages, max_batch_size=2, n_pages=16):
+        return build_batched_engine(
+            weights, max_batch_size=max_batch_size, max_seq_len=32,
+            paged=True, page_size=4, n_pages=n_pages,
+            prefix_sharing=True, cache_pages=cache_pages,
+        )
+
+    def test_cache_pages_requires_prefix_sharing(self, micro_weights):
+        with pytest.raises(ValueError, match="requires prefix_sharing"):
+            build_batched_engine(micro_weights, paged=True, cache_pages=4)
+
+    def test_bursty_revive_matches_cold_prefill(self, micro_weights):
+        """Non-overlapping same-prefix bursts: the cache (and only the
+        cache) saves the shared prefill, and tokens never change."""
+        requests = shared_prefix_requests(self.BASE, 5, 8, suffix_len=2,
+                                          max_new_tokens=4)
+        cold = drain_bursty(self._engine(micro_weights, 0), requests)
+        hot = drain_bursty(self._engine(micro_weights, 8), requests)
+        assert {c.request_id: c.generated_ids for c in cold.completions} \
+            == {c.request_id: c.generated_ids for c in hot.completions}
+        # Resident-only matching saves nothing across bursts...
+        assert cold.forked_admissions == 0
+        assert cold.revived_admissions == 0
+        assert cold.prefill_tokens_saved == 0
+        # ...the cache revives every burst after the first.
+        assert hot.forked_admissions == 0
+        assert hot.revived_admissions == len(requests) - 1
+        assert hot.revived_tokens == (len(requests) - 1) * 8
+        assert hot.prefill_tokens + hot.revived_tokens == cold.prefill_tokens
+        assert hot.prefill_cache_fraction > 0.5
+        assert hot.peak_cached_pages >= 2
+        assert hot.cache_pages == 8 and cold.cache_pages == 0
+
+    def test_revive_then_fork_chain_bit_identical(self, micro_weights):
+        """A revived sequence immediately serves as a fork donor; the
+        whole chain decodes exactly what cold prefill decodes."""
+        seed = shared_prefix_requests(self.BASE, 1, 8, suffix_len=2,
+                                      max_new_tokens=4)
+        chain = shared_prefix_requests(self.BASE, 2, 8, suffix_len=2,
+                                       max_new_tokens=4, start_id=1)
+        engine = self._engine(micro_weights, 8)
+        scheduler = ContinuousBatchingScheduler(engine)
+        scheduler.submit(seed[0])
+        scheduler.run()                      # retire -> prefix parked
+        for request in chain:
+            scheduler.submit(request)
+        scheduler.run()                      # revive, then fork the revived
+        report = scheduler.report
+        assert report.revived_admissions == 1
+        assert report.forked_admissions == 1
+        ref = build_engine(micro_weights)
+        got = {c.request_id: c.generated_ids for c in report.completions}
+        for request in seed + chain:
+            expect = ref.generate(list(request.prompt_ids),
+                                  max_new_tokens=4).generated_ids
+            assert got[request.request_id] == expect
+
+    def test_resident_donor_preferred_over_cache(self, micro_weights):
+        """Lookup order: a live donor forks even when the cache holds
+        the same prefix."""
+        requests = shared_prefix_requests(self.BASE, 3, 8, suffix_len=2,
+                                          max_new_tokens=6)
+        engine = self._engine(micro_weights, 8, max_batch_size=2)
+        scheduler = ContinuousBatchingScheduler(engine)
+        scheduler.submit(requests[0])
+        scheduler.run()                      # parked
+        scheduler.submit(requests[1])        # revives the parked prefix
+        scheduler.submit(requests[2])        # donor (request 1) is resident
+        scheduler.run()
+        assert scheduler.report.revived_admissions == 1
+        assert scheduler.report.forked_admissions == 1
+
+    def test_eviction_under_pressure_is_counted(self, micro_weights):
+        """Cold admissions of a different prefix reclaim cached pages on
+        demand and the report counts the evictions."""
+        same = shared_prefix_requests(self.BASE, 2, 8, suffix_len=2,
+                                      max_new_tokens=4)
+        other_base = tuple(9 - b for b in self.BASE)
+        other = shared_prefix_requests(other_base, 2, 8, suffix_len=2,
+                                       max_new_tokens=4, start_id=2)
+        # 4 pages: exactly one request's worst case (10 + 4 - 1 -> 13
+        # positions), so any cached pages must be evicted to admit the
+        # next cold request.
+        engine = self._engine(micro_weights, 8, n_pages=4)
+        report = drain_bursty(engine, [same[0], other[0], same[1], other[1]])
+        assert report.cache_evictions > 0
+        assert report.revived_admissions == 0   # every prefix was evicted
+        assert all(c.ok for c in report.completions)
+
+    def test_cached_prefix_never_covers_whole_prompt(self, micro_weights):
+        """At least one prompt token is always left to prefill."""
+        prompt = self.BASE[:8]                   # exactly 2 pages
+        request = Request(request_id=0, prompt_ids=prompt, max_new_tokens=3)
+        engine = self._engine(micro_weights, 8)
+        report = drain_bursty(engine, [request])
+        pages, positions = engine.find_cached_prefix(prompt)
+        assert positions == 4                    # 1 page, not 2
+        assert len(pages) == 1
+        ref = build_engine(micro_weights)
+        engine2 = self._engine(micro_weights, 8)
+        rep = drain_bursty(engine2, [
+            Request(request_id=0, prompt_ids=prompt, max_new_tokens=3),
+            Request(request_id=1, prompt_ids=prompt, max_new_tokens=3),
+        ])
+        expect = ref.generate(list(prompt), max_new_tokens=3).generated_ids
+        for completion in rep.completions:
+            assert completion.generated_ids == expect
+        assert rep.revived_admissions == 1
+        assert rep.revived_tokens == 4
+
+    def test_measure_batched_serving_carries_cache_telemetry(
+        self, micro_weights
+    ):
+        requests = shared_prefix_requests(self.BASE, 3, 8, suffix_len=2,
+                                          max_new_tokens=3)
+        point = measure_batched_serving(
+            micro_weights, requests, 2, paged=True, page_size=4,
+            n_pages=16, prefix_sharing=True, cache_pages=8,
+        )
+        assert "+cache8" in point.label
+        assert point.revived_admissions >= 0
+        assert point.revived_tokens >= 0
+        assert point.cache_evictions >= 0
