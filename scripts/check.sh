@@ -16,29 +16,34 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q "$@"
 if [ "$#" -eq 0 ]; then
     PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q \
         tests/test_serving.py tests/test_paged_kv.py \
-        tests/test_paged_properties.py
-    # Docs-freshness guard: every build_batched_engine knob must appear
-    # in docs/serving.md (the knob table the README points at), so a
-    # knob added without docs fails the gate.
+        tests/test_paged_properties.py tests/test_scheduler_properties.py
+    # Docs-freshness guard: every build_batched_engine knob and every
+    # ContinuousBatchingScheduler constructor knob must appear in
+    # docs/serving.md (the knob tables the README points at), so a knob
+    # added without docs fails the gate.
     PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python - <<'EOF'
 import inspect
 import pathlib
 import sys
 
 from repro.core.engine import build_batched_engine
+from repro.serving import ContinuousBatchingScheduler
 
 doc = pathlib.Path("docs/serving.md").read_text()
-missing = [
+knobs = list(inspect.signature(build_batched_engine).parameters)
+knobs += [
     name
-    for name in inspect.signature(build_batched_engine).parameters
-    if f"`{name}`" not in doc
+    for name in inspect.signature(
+        ContinuousBatchingScheduler.__init__).parameters
+    if name != "self"
 ]
+missing = [name for name in knobs if f"`{name}`" not in doc]
 if missing:
     sys.exit(
-        "docs/serving.md is stale: build_batched_engine knob(s) "
-        f"{missing} are not documented in its knob table"
+        "docs/serving.md is stale: engine/scheduler knob(s) "
+        f"{missing} are not documented in its knob tables"
     )
-print("docs/serving.md covers all build_batched_engine knobs")
+print("docs/serving.md covers all engine and scheduler knobs")
 EOF
 fi
 # Slow smokes of the paged-KV benchmark (equal-budget >= 2x concurrency
@@ -46,13 +51,17 @@ fi
 # concurrency from forked admission, intersection decays slower than
 # skip^B), the prefix-cache benchmark (>= 50% of prompt tokens revived
 # on bursty non-overlapping traffic, tokens identical to cold prefill),
-# and the batched-attention benchmark (decode-step win at batch >= 4,
-# >= 2x chunked-prefill win, tokens identical; JSON into
-# benchmarks/results/); opt in because they decode real workloads.
+# the batched-attention benchmark (decode-step win at batch >= 4,
+# >= 2x chunked-prefill win, tokens identical), and the
+# interleaved-prefill benchmark (budgeted ticks bound the worst tick
+# feed to step_budget and shave the residents' max inter-token stall,
+# tokens identical to inline prefill; JSON into benchmarks/results/);
+# opt in because they decode real workloads.
 if [ "${CHECK_SLOW:-0}" = "1" ]; then
     PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q \
         -m slow -p no:cacheprovider benchmarks/bench_paged_kv.py \
         benchmarks/bench_prefix_sharing.py \
         benchmarks/bench_prefix_cache.py \
-        benchmarks/bench_batched_attention.py
+        benchmarks/bench_batched_attention.py \
+        benchmarks/bench_interleaved_prefill.py
 fi

@@ -195,10 +195,27 @@ class ServingMeasurement:
     # the mean length-bucket count per batched decode step.
     attn_padding_waste: float = 0.0
     mean_attn_buckets: float = 0.0
+    # Budgeted-tick / preemption telemetry (scheduler step_budget /
+    # preemption knobs): tail latency comes from per-request wall-clock
+    # stamps, peak_tick_prefill_tokens is the largest per-tick
+    # prefill+replay feed (<= the budget when one is set).
+    step_budget: int = 0
+    preemptions: int = 0
+    resumed_admissions: int = 0
+    piggybacked_chunks: int = 0
+    piggybacked_tokens: int = 0
+    peak_tick_prefill_tokens: int = 0
+    replayed_tokens: int = 0
+    replay_seconds: float = 0.0
+    ttft_p50_seconds: float = 0.0
+    ttft_p99_seconds: float = 0.0
+    itl_p50_seconds: float = 0.0
+    itl_p99_seconds: float = 0.0
+    max_itl_seconds: float = 0.0
 
     @property
     def wall_seconds(self) -> float:
-        return self.prefill_seconds + self.decode_seconds
+        return self.prefill_seconds + self.decode_seconds + self.replay_seconds
 
     @property
     def tokens_per_second(self) -> float:
@@ -227,6 +244,8 @@ def measure_batched_serving(
     batched_attention: bool = False,
     attn_bucket_min_fill: float = 0.5,
     prefill_chunk: int = 0,
+    step_budget: int = 0,
+    preemption: bool = False,
 ) -> ServingMeasurement:
     """Drain ``requests`` through a batched engine and measure throughput.
 
@@ -235,7 +254,8 @@ def measure_batched_serving(
     independent.  The paged/prefix-sharing/batched-attention/chunked-
     prefill knobs mirror :func:`repro.core.engine.build_batched_engine`
     and the scheduler's ``reorder_window`` (correlation-aware
-    admission).
+    admission), ``step_budget`` (per-tick prefill piggybacking) and
+    ``preemption`` (priority eviction) knobs.
     """
     from ..core.engine import build_batched_engine
     from ..serving.scheduler import ContinuousBatchingScheduler
@@ -250,7 +270,8 @@ def measure_batched_serving(
         prefill_chunk=prefill_chunk,
     )
     scheduler = ContinuousBatchingScheduler(
-        engine, reorder_window=reorder_window
+        engine, reorder_window=reorder_window,
+        step_budget=step_budget, preemption=preemption,
     )
     for request in requests:
         scheduler.submit(request)
@@ -265,6 +286,10 @@ def measure_batched_serving(
         label += "+battn"
     if prefill_chunk:
         label += f"+chunk{prefill_chunk}"
+    if step_budget:
+        label += f"+budget{step_budget}"
+    if preemption:
+        label += "+preempt"
     return ServingMeasurement(
         label=label,
         max_batch_size=max_batch_size,
@@ -286,6 +311,19 @@ def measure_batched_serving(
         peak_occupancy=report.peak_occupancy,
         attn_padding_waste=report.attn_padding_waste,
         mean_attn_buckets=report.mean_attn_buckets,
+        step_budget=report.step_budget,
+        preemptions=report.preemptions,
+        resumed_admissions=report.resumed_admissions,
+        piggybacked_chunks=report.piggybacked_chunks,
+        piggybacked_tokens=report.piggybacked_tokens,
+        peak_tick_prefill_tokens=report.peak_tick_prefill_tokens,
+        replayed_tokens=report.replayed_tokens,
+        replay_seconds=report.replay_seconds,
+        ttft_p50_seconds=report.ttft_seconds_percentile(50),
+        ttft_p99_seconds=report.ttft_seconds_percentile(99),
+        itl_p50_seconds=report.itl_seconds_percentile(50),
+        itl_p99_seconds=report.itl_seconds_percentile(99),
+        max_itl_seconds=report.max_itl_seconds,
     )
 
 

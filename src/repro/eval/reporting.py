@@ -92,3 +92,31 @@ def format_serving_sweep(baseline, points, analytic_skips=None) -> str:
             analytic,
         ])
     return markdown_table(headers, rows)
+
+
+def format_tail_latency(points) -> str:
+    """Render per-configuration tail latency (budgeted-tick telemetry).
+
+    ``points`` are :class:`repro.eval.latency.ServingMeasurement`
+    objects from runs with wall-clock stamps (scheduler ``submit`` +
+    drain).  The interesting read is ``max ITL`` against ``peak
+    tick prefill``: an inline-prefill run shows a worst stall that
+    scales with its longest prompt, a budgeted run shows it clamped
+    near the budget.
+    """
+    headers = ["engine", "TTFT p50 (ms)", "TTFT p99 (ms)",
+               "ITL p50 (ms)", "ITL p99 (ms)", "max ITL (ms)",
+               "peak tick prefill", "preempt/resume"]
+    rows = []
+    for point in points:
+        rows.append([
+            point.label,
+            f"{point.ttft_p50_seconds * 1e3:.2f}",
+            f"{point.ttft_p99_seconds * 1e3:.2f}",
+            f"{point.itl_p50_seconds * 1e3:.2f}",
+            f"{point.itl_p99_seconds * 1e3:.2f}",
+            f"{point.max_itl_seconds * 1e3:.2f}",
+            str(point.peak_tick_prefill_tokens),
+            f"{point.preemptions}/{point.resumed_admissions}",
+        ])
+    return markdown_table(headers, rows)

@@ -376,8 +376,13 @@ class PrefixCache:
         outright rather than parked unreachable.
         """
         prompt = tuple(int(t) for t in prompt_ids)
+        # Cap by the slot's *advanced* length, not just its table: a
+        # preempted sequence can retire mid-prefill with a trailing page
+        # claimed but only partially written, and a partial page parked
+        # under a full-page key would revive garbage positions.
         n_full = min(len(prompt) // self.pool.page_size,
-                     len(slot.page_table))
+                     len(slot.page_table),
+                     slot.length // self.pool.page_size)
         if n_full == 0:
             return 0
         pool = self.pool

@@ -312,19 +312,30 @@ class BatchedEngine:
         """Claim a slot; paged caches reserve ``max_positions`` of pages."""
         return self.cache.allocate(max_positions)
 
-    def release_slot(self, slot: KVSlot) -> None:
+    def release_slot(self, slot: KVSlot, parked_ids=None) -> None:
         """Retire a sequence; with a prefix cache, park its prefix pages.
 
         The retiring sequence's prompt (as registered by
         :meth:`register_prefix`) keys the parked pages, so an identical
         future prefix can revive them.  Unregistered slots -- or engines
         without ``cache_pages`` -- release exactly as before.
+
+        ``parked_ids`` overrides the registered prompt as the parking
+        key: the preempting scheduler passes the *prefilled prompt
+        prefix* here (possibly shorter than the prompt when a sequence
+        is evicted mid-prefill, before :meth:`register_prefix` ran), so
+        the victim's restoration is usually a revive rather than a cold
+        prefill.  Only prefill-path positions may be parked -- decode
+        positions go through the sparse executor, so their K/V is not
+        the pure function of the tokens that cache revival assumes.
         """
         prompt = None
         if self._prefix_index is not None:
             prompt = self._prefix_index.prompt_of(slot.index)
             self._prefix_index.remove(slot.index)
             self._resident.pop(slot.index, None)
+        if parked_ids is not None:
+            prompt = parked_ids
         if prompt is not None and self.prefix_cache is not None:
             self.cache.release(slot, prompt_ids=prompt)
         else:

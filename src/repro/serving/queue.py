@@ -39,6 +39,16 @@ class RequestQueue:
     def submit(self, request: Request) -> None:
         self._pending.append(request)
 
+    def push_front(self, request: Request) -> None:
+        """Re-enqueue ``request`` ahead of FIFO order.
+
+        The preempted-sequence resume path: a sequence evicted mid-flight
+        already waited its FIFO turn once, so its resume goes to the head
+        of the queue rather than the tail.  Multiple victims pushed in
+        reverse preemption order keep their relative admission order.
+        """
+        self._pending.appendleft(request)
+
     def pop(self) -> Request:
         """Remove and return the oldest pending request."""
         if not self._pending:

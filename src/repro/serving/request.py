@@ -13,12 +13,20 @@ class Request:
     Semantics match :meth:`repro.model.inference.InferenceModel.generate`:
     greedy decoding of up to ``max_new_tokens`` tokens, stopping early if
     the next token falls in ``stop_ids`` (the stop token is not emitted).
+
+    ``priority`` orders requests for *preemption only*: admission stays
+    FIFO (plus the bounded ``reorder_window``), but a scheduler running
+    with ``preemption=True`` may evict a resident sequence of strictly
+    lower priority to make room for a page-starved higher-priority head.
+    Equal priorities never preempt each other, so the default (0
+    everywhere) keeps preemption a no-op.
     """
 
     request_id: int
     prompt_ids: tuple
     max_new_tokens: int
     stop_ids: Optional[frozenset] = None
+    priority: int = 0
 
     def __post_init__(self):
         if not self.prompt_ids:
@@ -28,6 +36,7 @@ class Request:
         object.__setattr__(self, "prompt_ids", tuple(int(t) for t in self.prompt_ids))
         if self.stop_ids is not None:
             object.__setattr__(self, "stop_ids", frozenset(int(t) for t in self.stop_ids))
+        object.__setattr__(self, "priority", int(self.priority))
 
     @property
     def prompt_len(self) -> int:
@@ -68,6 +77,16 @@ class Completion:
     decoding it (e.g. it could never fit a KV slot); rejected requests
     complete with no generated tokens rather than crashing the batch
     they would have joined.
+
+    Latency telemetry (budgeted/preemptive scheduling, PR 6):
+    ``first_token_step`` is the tick that emitted the first token (-1
+    when none was); ``ttft_seconds`` is wall-clock submit-to-first-token
+    (None when the request bypassed :meth:`ContinuousBatchingScheduler.
+    submit` or emitted nothing); ``itl_seconds`` holds the wall-clock
+    gap before each token after the first, so a resident stalled behind
+    a long admission shows up as one large entry; ``preemptions`` counts
+    how many times this request was evicted mid-flight and later
+    resumed.
     """
 
     request: Request
@@ -76,6 +95,10 @@ class Completion:
     finished_step: int = 0
     decode_steps: int = 0      # batched forwards this request took part in
     error: Optional[str] = None
+    first_token_step: int = -1
+    preemptions: int = 0
+    ttft_seconds: Optional[float] = None
+    itl_seconds: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:

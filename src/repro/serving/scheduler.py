@@ -40,6 +40,41 @@ intersection decay (:func:`repro.gpu.batching.batch_skip_fraction` with
 most ``reorder_window - 1`` times before it must be the next admission,
 so FIFO is the steady-state order.
 
+**Step-budgeted ticks (prefill piggybacking).**  With ``step_budget=0``
+(the default) admission runs a new sequence's prefill to completion
+inline, so one long prompt stalls every resident sequence for its whole
+prefill.  With ``step_budget=b > 0`` the tick spends at most ~``b``
+model-fed tokens: each decoding resident costs one (its decode token)
+and the *leftover* budget runs pending prefill as chunks through the
+engine's (chunked-GEMM-capable) prefill path, Sarathi-style -- an
+admitted sequence carries its un-prefilled prompt suffix across ticks
+and only joins the decode batch once the suffix is done and its first
+token is sampled.  A tick with pending prefill always advances it by at
+least one token, so admissions finish even when residents alone exceed
+the budget.  Residents' inter-token stall per tick is therefore bounded
+by the budget, not by the longest queued prompt.  Splitting prefill at
+scheduler-chosen boundaries reuses the engine's existing guarantees:
+``prefill_chunk=0`` pieces run the exact scalar op sequence
+(bit-identical), chunked pieces are token-identical -- so any budget
+produces the same tokens per request as ``step_budget=0``.
+
+**Preemption.**  With ``preemption=True``, a page- or slot-starved
+admission whose head outranks a resident (strictly greater
+:attr:`~repro.serving.request.Request.priority`) evicts the
+lowest-priority resident: the victim's KV pages are released (its
+*prefilled prompt prefix* is parked in the engine's prefix cache when
+one is configured, so restoration is usually a revive) and the victim
+is re-enqueued **ahead of FIFO order** via
+:meth:`~repro.serving.queue.RequestQueue.push_front`.  Resume restores
+the prompt through the normal fork -> revive -> cold-prefill cascade
+and then *replays* the already-generated tokens through the decode
+path (the sparse executor -- recomputing them with the dense prefill
+path would change their K/V values, not just their rounding), so the
+resumed sequence continues token-identically.  Already-emitted tokens
+are kept, never resampled.  Equal priorities never preempt each other,
+which rules out eviction ping-pong; every preemption chain strictly
+descends in priority, so it is finite.
+
 The admission loop drains the queue by catching the typed
 :class:`~repro.serving.queue.EmptyQueueError` only -- a bare
 ``IndexError`` escaping from admission bookkeeping is a bug and must
@@ -61,17 +96,38 @@ from .request import Completion, Request
 
 @dataclass
 class _ActiveSequence:
-    """Scheduler-side state of one admitted, unfinished request."""
+    """Scheduler-side state of one admitted, unfinished request.
+
+    Under a step budget a sequence holds its slot before its prompt is
+    fully in KV: ``pending_prefill`` is the un-prefilled prompt suffix
+    still to feed through the prefill path, and ``pending_replay`` the
+    already-emitted tokens a resumed (preempted) sequence must re-feed
+    through the *decode* path before it can continue.  While either is
+    non-empty the sequence is :attr:`restoring` and sits out the decode
+    batch.  ``emit_times`` records one wall-clock stamp per emitted
+    token (TTFT / inter-token gaps); ``preemptions`` counts evictions
+    survived so far.
+    """
 
     request: Request
     slot: object                       # KVSlot
     generated_ids: list
     admitted_step: int
     decode_steps: int = 0
+    pending_prefill: tuple = ()
+    pending_replay: tuple = ()
+    preemptions: int = 0
+    first_token_step: int = -1
+    emit_times: list = field(default_factory=list)
 
     @property
     def last_token(self) -> int:
         return self.generated_ids[-1]
+
+    @property
+    def restoring(self) -> bool:
+        """Still feeding prompt/replay tokens; not in the decode batch."""
+        return bool(self.pending_prefill) or bool(self.pending_replay)
 
     def wants_more(self) -> bool:
         return len(self.generated_ids) < self.request.max_new_tokens
@@ -107,6 +163,21 @@ class ServeReport:
     ``correlation = 0`` curve of
     :func:`repro.gpu.batching.batch_skip_fraction`), so their gap is the
     sparsity that correlation-aware batching retained.
+
+    Budgeted-tick / preemption telemetry (PR 6): ``step_budget`` echoes
+    the scheduler knob; ``piggybacked_chunks`` / ``piggybacked_tokens``
+    count the prefill pieces folded into budgeted ticks alongside
+    decode; ``peak_tick_prefill_tokens`` is the largest number of
+    prefill+replay tokens any single tick fed (with a budget ``b`` it
+    stays <= ``max(b, 1)``, which is the structural evidence that
+    resident decode stalls are bounded by the budget, not by prompt
+    length); ``preemptions`` / ``resumed_admissions`` count evictions
+    and the admissions that restored an evicted sequence; and
+    ``replayed_tokens`` / ``replay_seconds`` measure the decode-path
+    token replay those restorations performed.  Wall-clock tail latency
+    comes from the completions themselves: :meth:`ttft_seconds_percentile`
+    and :meth:`itl_seconds_percentile` aggregate per-request
+    time-to-first-token and inter-token gaps.
     """
 
     completions: List[Completion] = field(default_factory=list)
@@ -140,10 +211,18 @@ class ServeReport:
     attn_buckets_sum: int = 0          # length buckets over those steps
     attn_useful_positions: int = 0     # gathered cells inside a length
     attn_padded_positions: int = 0     # all gathered cells incl. padding
+    step_budget: int = 0               # scheduler knob (0 = inline prefill)
+    piggybacked_chunks: int = 0        # prefill pieces run inside ticks
+    piggybacked_tokens: int = 0        # tokens those pieces fed
+    peak_tick_prefill_tokens: int = 0  # largest per-tick prefill+replay feed
+    preemptions: int = 0               # sequences evicted mid-flight
+    resumed_admissions: int = 0        # admissions restoring an evictee
+    replayed_tokens: int = 0           # decode-path tokens re-fed on resume
+    replay_seconds: float = 0.0        # wall time spent in that replay
 
     @property
     def wall_seconds(self) -> float:
-        return self.prefill_seconds + self.decode_seconds
+        return self.prefill_seconds + self.decode_seconds + self.replay_seconds
 
     @property
     def mean_batch_occupancy(self) -> float:
@@ -199,6 +278,45 @@ class ServeReport:
         """Realised intersection skip minus the independent ``skip^B``."""
         return self.intersection_skip - self.expected_uncorrelated_skip
 
+    @property
+    def ttft_values(self) -> list:
+        """Per-request time-to-first-token, for requests that have one.
+
+        Requests enqueued without :meth:`ContinuousBatchingScheduler.submit`
+        (no submit timestamp) or that emitted nothing are excluded.
+        """
+        return [
+            c.ttft_seconds for c in self.completions
+            if c.ttft_seconds is not None
+        ]
+
+    @property
+    def itl_values(self) -> list:
+        """All inter-token gaps (seconds) across every completion.
+
+        One entry per emitted token after each request's first, so a
+        resident stalled behind a long inline prefill contributes one
+        large gap -- the tail of this distribution is what the step
+        budget exists to bound.
+        """
+        return [v for c in self.completions for v in c.itl_seconds]
+
+    def ttft_seconds_percentile(self, q: float) -> float:
+        """The ``q``-th percentile of time-to-first-token (0 if none)."""
+        values = self.ttft_values
+        return float(np.percentile(values, q)) if values else 0.0
+
+    def itl_seconds_percentile(self, q: float) -> float:
+        """The ``q``-th percentile of inter-token gaps (0 if none)."""
+        values = self.itl_values
+        return float(np.percentile(values, q)) if values else 0.0
+
+    @property
+    def max_itl_seconds(self) -> float:
+        """Worst single inter-token stall any request observed."""
+        values = self.itl_values
+        return max(values) if values else 0.0
+
     def _attn_telemetry(self):
         """This run's counters as an AttentionTelemetry (one source of
         truth for the derived fractions)."""
@@ -238,6 +356,13 @@ class ContinuousBatchingScheduler:
     docstring): values <= 1 mean strict FIFO; a window of ``w`` lets a
     request sharing a live prefix jump at most ``w - 1`` positions, and
     the head is never bypassed more than ``w - 1`` admissions in a row.
+
+    ``step_budget`` bounds the model-fed tokens per tick: 0 (default)
+    keeps the historical run-prefill-inline admission, ``b > 0`` defers
+    admitted prompts into per-tick prefill chunks that ride alongside
+    decode (see module docstring).  ``preemption`` enables
+    priority-based eviction of residents for a starved higher-priority
+    head; with every request at the default priority it never fires.
     """
 
     def __init__(
@@ -246,10 +371,16 @@ class ContinuousBatchingScheduler:
         queue: Optional[RequestQueue] = None,
         max_batch_size: Optional[int] = None,
         reorder_window: int = 0,
+        step_budget: int = 0,
+        preemption: bool = False,
     ):
         if reorder_window < 0:
             raise ValueError(
                 f"reorder_window must be >= 0, got {reorder_window}"
+            )
+        if step_budget < 0:
+            raise ValueError(
+                f"step_budget must be >= 0, got {step_budget}"
             )
         self.engine = engine
         self.queue = queue if queue is not None else RequestQueue()
@@ -257,12 +388,18 @@ class ContinuousBatchingScheduler:
             max_batch_size or engine.max_batch_size, engine.max_batch_size
         )
         self.reorder_window = reorder_window
+        self.step_budget = step_budget
+        self.preemption = bool(preemption)
         self.active: List[_ActiveSequence] = []
         self.step_count = 0
         self._head_skips = 0       # consecutive admissions that bypassed head
+        self._submit_times = {}    # request_id -> perf_counter at submit()
+        self._resume_state = {}    # request_id -> progress of an evictee
+        self._tick_prefill_tokens = 0   # prefill+replay tokens fed this tick
         self.report = ServeReport(
             n_pages=getattr(engine.cache, "n_pages", 0),
             cache_pages=getattr(engine, "cache_pages", 0),
+            step_budget=step_budget,
         )
         # The prefix cache's eviction counter is cumulative across the
         # engine's lifetime; snapshot it so a reused engine still yields
@@ -321,6 +458,7 @@ class ContinuousBatchingScheduler:
         reason = self._capacity_error(request)
         if reason is not None:
             raise ValueError(reason)
+        self._submit_times[request.request_id] = time.perf_counter()
         self.queue.submit(request)
 
     @property
@@ -341,12 +479,23 @@ class ContinuousBatchingScheduler:
         # Retirement is the moment pages get parked; sample here so the
         # cached-page peak sees a burst's tail, not just decode ticks.
         self._sample_cache_telemetry(tick=False)
+        submit_t = self._submit_times.pop(seq.request.request_id, None)
+        ttft = None
+        if seq.emit_times and submit_t is not None:
+            ttft = seq.emit_times[0] - submit_t
+        itl = [
+            b - a for a, b in zip(seq.emit_times, seq.emit_times[1:])
+        ]
         completion = Completion(
             request=seq.request,
             generated_ids=list(seq.generated_ids),
             admitted_step=seq.admitted_step,
             finished_step=self.step_count,
             decode_steps=seq.decode_steps,
+            first_token_step=seq.first_token_step,
+            preemptions=seq.preemptions,
+            ttft_seconds=ttft,
+            itl_seconds=itl,
         )
         self.report.completions.append(completion)
         return completion
@@ -413,6 +562,8 @@ class ContinuousBatchingScheduler:
         return best
 
     def _admit(self, finished: List[Completion]) -> None:
+        evicted: List[Request] = []
+        head_blocked = False
         while True:
             try:
                 head = self.queue.peek()
@@ -426,6 +577,7 @@ class ContinuousBatchingScheduler:
                 # delays it.
                 self.queue.pop()
                 self._head_skips = 0
+                self._submit_times.pop(head.request_id, None)
                 completion = Completion(
                     request=head, generated_ids=[],
                     admitted_step=self.step_count,
@@ -440,6 +592,7 @@ class ContinuousBatchingScheduler:
                 # never use.
                 self.queue.pop()
                 self._head_skips = 0
+                self._submit_times.pop(head.request_id, None)
                 completion = Completion(
                     request=head, generated_ids=[],
                     admitted_step=self.step_count,
@@ -449,11 +602,18 @@ class ContinuousBatchingScheduler:
                 finished.append(completion)
                 continue
             if len(self.active) >= self.max_batch_size:
+                if self._maybe_preempt(head, evicted):
+                    continue   # a seat was freed; retry the head
+                head_blocked = bool(evicted)
                 break
             choice = self._choose_admission(head)
             if choice is None:
                 # The head waits for a seat and slots/pages, and no
-                # in-window prefix-sharer can take its place.
+                # in-window prefix-sharer can take its place -- unless
+                # preemption can evict a lower-priority resident.
+                if self._maybe_preempt(head, evicted):
+                    continue   # pages were freed; retry the head
+                head_blocked = bool(evicted)
                 break
             index, request, donor, shared, pages, needed = choice
             self.queue.pop_at(index)
@@ -472,7 +632,8 @@ class ContinuousBatchingScheduler:
             elif pages:
                 # Revive: the prefix K/V is re-pinned from the cross-
                 # request cache -- same prefill saving as a fork, but
-                # the donor retired long ago.
+                # the donor retired long ago.  A preempted sequence's
+                # parked prompt usually resumes through this path.
                 slot = self.engine.revive_slot(pages, needed)
                 prompt_suffix = request.prompt_ids[shared:]
                 self.report.revived_admissions += 1
@@ -484,34 +645,209 @@ class ContinuousBatchingScheduler:
                 request=request, slot=slot, generated_ids=[],
                 admitted_step=self.step_count,
             )
+            resume = self._resume_state.pop(request.request_id, None)
+            if resume is not None:
+                # Restoring an evictee: keep every already-emitted token
+                # and its telemetry; only the KV state is rebuilt.
+                seq.generated_ids = list(resume["generated"])
+                seq.decode_steps = resume["decode_steps"]
+                seq.admitted_step = resume["admitted_step"]
+                seq.preemptions = resume["preemptions"]
+                seq.first_token_step = resume["first_token_step"]
+                seq.emit_times = list(resume["emit_times"])
+                self.report.resumed_admissions += 1
+            # The last emitted token is never replayed: the next decode
+            # tick feeds it, exactly as it would have without eviction.
+            replay = tuple(seq.generated_ids[:-1])
+            if self.step_budget > 0:
+                # Budgeted tick: the prompt suffix (and any replay) runs
+                # as per-tick chunks in _run_restoration, not inline.
+                seq.pending_prefill = tuple(prompt_suffix)
+                seq.pending_replay = replay
+                self.active.append(seq)
+                continue
             t0 = time.perf_counter()
             logits = self.engine.prefill(slot, prompt_suffix)
             self.report.prefill_seconds += time.perf_counter() - t0
             self.report.prefill_tokens += len(prompt_suffix)
-            self.engine.register_prefix(slot, request.prompt_ids)
-            if self.report.n_pages:
-                # Sample the arena high-water mark while prefill-claimed
-                # pages are still held -- a sequence finishing right at
-                # admission would otherwise never be counted.
-                self.report.peak_pages_in_use = max(
-                    self.report.peak_pages_in_use,
-                    self.engine.cache.n_pages_in_use,
-                )
-                self.report.peak_shared_pages = max(
-                    self.report.peak_shared_pages,
-                    self.engine.cache.n_shared_pages,
-                )
-                self._sample_cache_telemetry(tick=False)
-            first = self._greedy(logits)
-            if request.stop_ids and first in request.stop_ids:
-                finished.append(self._complete(seq))
+            self._tick_prefill_tokens += len(prompt_suffix)
+            if not self._finish_prompt(seq, logits, finished):
                 continue
-            seq.generated_ids.append(first)
-            self.report.tokens_generated += 1
-            if seq.wants_more():
-                self.active.append(seq)
-            else:
-                finished.append(self._complete(seq))
+            if replay:
+                self._replay_tokens(seq, replay)
+            self.active.append(seq)
+        if evicted:
+            # Victims resume ahead of FIFO order -- but never ahead of a
+            # head that is still blocked after the eviction, or the
+            # (lower-priority) victim would queue-jump the very request
+            # it was evicted for, ping-ponging forever.
+            held = self.queue.pop() if head_blocked else None
+            for request in reversed(evicted):
+                self.queue.push_front(request)
+            if held is not None:
+                self.queue.push_front(held)
+
+    def _finish_prompt(
+        self, seq: _ActiveSequence, logits: np.ndarray,
+        finished: List[Completion],
+    ) -> bool:
+        """Wrap up a completed prompt prefill; True if ``seq`` stays live.
+
+        Registers the prompt for prefix sharing, samples the peak page
+        gauges while prefill-claimed pages are still held (a sequence
+        finishing right at admission would otherwise never be counted),
+        and -- for a fresh sequence only -- samples the first token from
+        the prefill logits.  A resumed sequence already emitted its
+        first token before eviction; it is kept, never resampled.
+        """
+        self.engine.register_prefix(seq.slot, seq.request.prompt_ids)
+        self._sample_page_peaks()
+        if seq.generated_ids:
+            return True
+        first = self._greedy(logits)
+        request = seq.request
+        if request.stop_ids and first in request.stop_ids:
+            finished.append(self._complete(seq))
+            return False
+        seq.generated_ids.append(first)
+        seq.first_token_step = self.step_count
+        seq.emit_times.append(time.perf_counter())
+        self.report.tokens_generated += 1
+        if seq.wants_more():
+            return True
+        finished.append(self._complete(seq))
+        return False
+
+    def _replay_tokens(self, seq: _ActiveSequence, tokens) -> None:
+        """Re-feed already-emitted tokens through the *decode* path.
+
+        Generated-position K/V is a product of the sparse decode
+        executor; recomputing it with the dense prefill path would
+        change the values themselves, not just their rounding, so a
+        restored sequence replays its history token-by-token through
+        ``decode_step`` -- the same op sequence that wrote the evicted
+        state.  The logits are discarded: every replayed token was
+        already emitted.
+        """
+        t0 = time.perf_counter()
+        for tok in tokens:
+            self.engine.decode_step([seq.slot], [int(tok)])
+        self.report.replay_seconds += time.perf_counter() - t0
+        self.report.replayed_tokens += len(tokens)
+        self._tick_prefill_tokens += len(tokens)
+
+    def _sample_page_peaks(self) -> None:
+        """Refresh the arena high-water marks (paged cache only)."""
+        if not self.report.n_pages:
+            return
+        self.report.peak_pages_in_use = max(
+            self.report.peak_pages_in_use,
+            self.engine.cache.n_pages_in_use,
+        )
+        self.report.peak_shared_pages = max(
+            self.report.peak_shared_pages,
+            self.engine.cache.n_shared_pages,
+        )
+        self._sample_cache_telemetry(tick=False)
+
+    def _maybe_preempt(
+        self, head: Request, evicted: List[Request]
+    ) -> bool:
+        """Evict one resident for ``head`` if allowed; True on eviction."""
+        if not self.preemption:
+            return False
+        victim = self._pick_victim(head.priority)
+        if victim is None:
+            return False
+        self._preempt(victim)
+        evicted.append(victim.request)
+        return True
+
+    def _pick_victim(self, priority: int) -> Optional[_ActiveSequence]:
+        """The lowest-priority resident strictly below ``priority``.
+
+        Strict inequality is the anti-livelock rule: equal priorities
+        never evict each other, so every preemption chain descends in
+        priority and is finite.  Among equals the latest-admitted loses
+        (it has the least sunk decode work to replay).
+        """
+        victim = None
+        for seq in self.active:
+            if seq.request.priority >= priority:
+                continue
+            if victim is None or \
+                    seq.request.priority <= victim.request.priority:
+                victim = seq
+        return victim
+
+    def _preempt(self, seq: _ActiveSequence) -> None:
+        """Evict ``seq``: release its pages, remember its progress.
+
+        Only the *prefilled prompt prefix* (``prompt_ids[:slot.length]``
+        -- the whole prompt for a decoding resident, a prefix for one
+        caught mid-restoration) is offered for parking: generated
+        positions carry decode-path K/V that must never be shared or
+        revived through prompt hashing.  The request itself goes back to
+        the queue via the caller; emitted tokens and latency telemetry
+        survive in ``_resume_state``.
+        """
+        self.active.remove(seq)
+        parked = seq.request.prompt_ids[:seq.slot.length]
+        self.engine.release_slot(seq.slot, parked_ids=parked)
+        self._sample_cache_telemetry(tick=False)
+        self._resume_state[seq.request.request_id] = {
+            "generated": list(seq.generated_ids),
+            "decode_steps": seq.decode_steps,
+            "admitted_step": seq.admitted_step,
+            "preemptions": seq.preemptions + 1,
+            "first_token_step": seq.first_token_step,
+            "emit_times": list(seq.emit_times),
+        }
+        self.report.preemptions += 1
+
+    def _run_restoration(self, finished: List[Completion]) -> None:
+        """Advance restoring sequences within the tick's token budget.
+
+        The leftover budget after charging one token per decoding
+        resident -- but always at least 1, so restoration cannot stall
+        behind a large decode batch -- is spent oldest-admission-first
+        on pending prefill chunks (prefill path) and then replay tokens
+        (decode path).  A sequence whose prompt completes here samples
+        its first token from the final chunk's logits and, once any
+        replay drains, joins the same tick's decode batch.
+        """
+        if self.step_budget == 0:
+            return
+        if not any(seq.restoring for seq in self.active):
+            return
+        n_decoding = sum(1 for seq in self.active if not seq.restoring)
+        budget = max(self.step_budget - n_decoding, 1)
+        spent = 0
+        for seq in list(self.active):
+            if spent >= budget:
+                break
+            if seq.pending_prefill:
+                take = min(len(seq.pending_prefill), budget - spent)
+                piece = list(seq.pending_prefill[:take])
+                seq.pending_prefill = seq.pending_prefill[take:]
+                t0 = time.perf_counter()
+                logits = self.engine.prefill(seq.slot, piece)
+                self.report.prefill_seconds += time.perf_counter() - t0
+                self.report.prefill_tokens += take
+                self.report.piggybacked_chunks += 1
+                self.report.piggybacked_tokens += take
+                self._tick_prefill_tokens += take
+                spent += take
+                if seq.pending_prefill:
+                    continue
+                if not self._finish_prompt(seq, logits, finished):
+                    self.active.remove(seq)
+                    continue
+            if seq.pending_replay and spent < budget:
+                take = min(len(seq.pending_replay), budget - spent)
+                self._replay_tokens(seq, seq.pending_replay[:take])
+                seq.pending_replay = seq.pending_replay[take:]
+                spent += take
 
     def _sample_cache_telemetry(self, tick: bool) -> None:
         """Refresh prefix-cache gauges; ``tick`` adds to per-step sums.
@@ -534,20 +870,31 @@ class ContinuousBatchingScheduler:
     def step(self) -> List[Completion]:
         """One scheduler tick; returns the requests that finished in it."""
         self.step_count += 1
+        self._tick_prefill_tokens = 0
         finished: List[Completion] = []
         self._admit(finished)
-        if not self.active:
+        self._run_restoration(finished)
+        decoding = [seq for seq in self.active if not seq.restoring]
+        self.report.peak_tick_prefill_tokens = max(
+            self.report.peak_tick_prefill_tokens, self._tick_prefill_tokens
+        )
+        if not decoding:
+            # Admission-only (or restoration-only) tick: the report's
+            # skip telemetry must still be finalised -- every return
+            # path refreshes it, not just the decode path.
+            self._finalise_skip_telemetry()
             return finished
 
-        slots = [seq.slot for seq in self.active]
-        tokens = [seq.last_token for seq in self.active]
+        slots = [seq.slot for seq in decoding]
+        tokens = [seq.last_token for seq in decoding]
         t0 = time.perf_counter()
         logits = self.engine.decode_step(slots, tokens)
-        self.report.decode_seconds += time.perf_counter() - t0
+        t_emit = time.perf_counter()
+        self.report.decode_seconds += t_emit - t0
         self.report.decode_steps += 1
-        self.report.occupancy_sum += len(self.active)
+        self.report.occupancy_sum += len(decoding)
         self.report.peak_occupancy = max(
-            self.report.peak_occupancy, len(self.active)
+            self.report.peak_occupancy, len(decoding)
         )
         if self.report.n_pages:
             in_use = self.engine.cache.n_pages_in_use
@@ -573,14 +920,24 @@ class ContinuousBatchingScheduler:
                 attn.padded_positions - base[3]
 
         still_active: List[_ActiveSequence] = []
-        for i, seq in enumerate(self.active):
+        row = 0
+        for seq in self.active:
+            if seq.restoring:
+                # Mid-restoration sequences sat out this decode; they
+                # keep their seat (and admission order) for next tick.
+                still_active.append(seq)
+                continue
             seq.decode_steps += 1
-            nxt = self._greedy(logits[i])
+            nxt = self._greedy(logits[row])
+            row += 1
             stop = seq.request.stop_ids
             if stop and nxt in stop:
                 finished.append(self._complete(seq))
                 continue
             seq.generated_ids.append(nxt)
+            if seq.first_token_step < 0:
+                seq.first_token_step = self.step_count
+            seq.emit_times.append(t_emit)
             self.report.tokens_generated += 1
             if seq.wants_more():
                 still_active.append(seq)

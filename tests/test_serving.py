@@ -14,7 +14,7 @@ from repro.eval.latency import (
     measure_batched_serving,
     measure_sequential_serving,
 )
-from repro.eval.reporting import format_serving_sweep
+from repro.eval.reporting import format_serving_sweep, format_tail_latency
 from repro.model.kvcache import BatchedKVCache
 from repro.serving import (
     BatchedEngine,
@@ -638,6 +638,134 @@ class TestServingMetrics:
         table = format_serving_sweep(baseline, [point], [0.5])
         assert "speedup" in table and "sequential" in table
         assert "50.0%" in table
+
+
+class TestBudgetedScheduling:
+    """step_budget / preemption knobs and their telemetry (PR 6)."""
+
+    def test_step_budget_validation(self, micro_weights):
+        engine = build_batched_engine(micro_weights, max_batch_size=1)
+        with pytest.raises(ValueError, match="step_budget"):
+            ContinuousBatchingScheduler(engine, step_budget=-1)
+
+    def test_skip_telemetry_fresh_on_every_return_path(self, micro_weights):
+        """Regression: ticks with no decode batch returned early without
+        ``_finalise_skip_telemetry``, leaving the report's skip fields
+        stale.  A resumed sequence's replay runs the sparse executor on
+        restoration-only ticks, so staleness is observable: after every
+        single tick the report must agree with the live engine stats.
+        """
+        engine = build_batched_engine(
+            micro_weights, max_batch_size=2, paged=True, page_size=4,
+            n_pages=10, prefix_sharing=True, cache_pages=4,
+        )
+        scheduler = ContinuousBatchingScheduler(
+            engine, step_budget=1, preemption=True,
+        )
+        scheduler.submit(Request(request_id=0, prompt_ids=(1, 2, 3, 4, 5),
+                                 max_new_tokens=20, priority=0))
+        stats = engine.sparse.stats
+        ticks = 0
+        submitted_vip = False
+        while not scheduler.idle:
+            scheduler.step()
+            ticks += 1
+            assert ticks < 500
+            assert scheduler.report.intersection_skip == \
+                stats.intersection_skip_fraction
+            assert scheduler.report.mean_sequence_skip == \
+                stats.mean_sequence_skip_fraction
+            if ticks == 10 and not submitted_vip:
+                # Arrives page-starved and outranks the resident.
+                scheduler.submit(Request(
+                    request_id=1, prompt_ids=(6, 7, 8, 9, 10, 11, 12, 13),
+                    max_new_tokens=20, priority=5,
+                ))
+                submitted_vip = True
+        report = scheduler.report
+        assert report.preemptions >= 1
+        assert report.replayed_tokens >= 1
+        assert len(report.completions) == 2
+
+    def test_run_max_steps_overflow_then_resumes(self, micro_weights):
+        engine = build_batched_engine(micro_weights, max_batch_size=1)
+        scheduler = ContinuousBatchingScheduler(engine)
+        for request in make_requests(6)[:3]:
+            scheduler.submit(request)
+        with pytest.raises(RuntimeError, match="did not drain"):
+            scheduler.run(max_steps=2)
+        # The overflow is a deadline, not corruption: the same scheduler
+        # keeps draining and every request still completes exactly once.
+        report = scheduler.run()
+        assert scheduler.idle
+        assert len(report.completions) == 3
+        assert sorted(c.request_id for c in report.completions) == [0, 1, 2]
+
+    def test_run_max_steps_exact_finish_does_not_raise(self, micro_weights):
+        engine = build_batched_engine(micro_weights, max_batch_size=1)
+        scheduler = ContinuousBatchingScheduler(engine)
+        # max_new=2 drains in exactly one tick: admit + first token,
+        # then the tick's decode emits the second.
+        scheduler.submit(Request(request_id=0, prompt_ids=(1, 2),
+                                 max_new_tokens=2))
+        report = scheduler.run(max_steps=1)
+        assert scheduler.idle
+        assert report.completions[0].n_generated == 2
+
+    def test_mid_run_submit_keeps_report_consistent(self, micro_weights):
+        """Interleaving submit() with step() mid-run keeps every
+        ServeReport/Completion cross-sum consistent."""
+        engine = build_batched_engine(
+            micro_weights, max_batch_size=2, paged=True, page_size=4,
+            n_pages=40,
+        )
+        scheduler = ContinuousBatchingScheduler(engine, step_budget=3)
+        early = make_requests(4)[:2]
+        for request in early:
+            scheduler.submit(request)
+        for _ in range(3):
+            scheduler.step()
+        late = [
+            Request(request_id=10 + i, prompt_ids=tuple(p),
+                    max_new_tokens=3)
+            for i, p in enumerate(PROMPTS[2:5])
+        ]
+        for request in late:
+            scheduler.submit(request)
+        report = scheduler.run()
+        assert len(report.completions) == len(early) + len(late)
+        assert report.tokens_generated == sum(
+            c.n_generated for c in report.completions
+        )
+        # Every decode participation is counted exactly once on each side.
+        assert report.occupancy_sum == sum(
+            c.decode_steps for c in report.completions
+        )
+        for c in report.completions:
+            assert c.ok and c.n_generated > 0
+            assert c.ttft_seconds is not None and c.ttft_seconds >= 0.0
+            assert len(c.itl_seconds) == c.n_generated - 1
+            assert all(gap >= 0.0 for gap in c.itl_seconds)
+            assert c.admitted_step <= c.first_token_step <= c.finished_step
+        assert report.ttft_seconds_percentile(50) > 0.0
+        assert report.itl_seconds_percentile(50) <= \
+            report.itl_seconds_percentile(99) <= report.max_itl_seconds
+
+    def test_measure_batched_serving_budget_knobs(self, micro_weights):
+        requests = make_requests(3)
+        point = measure_batched_serving(
+            micro_weights, requests, 2, paged=True, page_size=4,
+            step_budget=4, preemption=True,
+        )
+        assert "+budget4" in point.label and "+preempt" in point.label
+        assert point.step_budget == 4
+        assert point.peak_tick_prefill_tokens <= 4
+        assert point.piggybacked_tokens == sum(
+            len(r.prompt_ids) for r in requests
+        )
+        assert point.max_itl_seconds >= point.itl_p99_seconds >= 0.0
+        table = format_tail_latency([point])
+        assert "max ITL" in table and point.label in table
 
 
 def drain_bursty(engine, requests):
