@@ -16,35 +16,15 @@ PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q "$@"
 if [ "$#" -eq 0 ]; then
     PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q \
         tests/test_serving.py tests/test_paged_kv.py \
-        tests/test_paged_properties.py tests/test_scheduler_properties.py
-    # Docs-freshness guard: every build_batched_engine knob and every
-    # ContinuousBatchingScheduler constructor knob must appear in
-    # docs/serving.md (the knob tables the README points at), so a knob
-    # added without docs fails the gate.
-    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python - <<'EOF'
-import inspect
-import pathlib
-import sys
-
-from repro.core.engine import build_batched_engine
-from repro.serving import ContinuousBatchingScheduler
-
-doc = pathlib.Path("docs/serving.md").read_text()
-knobs = list(inspect.signature(build_batched_engine).parameters)
-knobs += [
-    name
-    for name in inspect.signature(
-        ContinuousBatchingScheduler.__init__).parameters
-    if name != "self"
-]
-missing = [name for name in knobs if f"`{name}`" not in doc]
-if missing:
-    sys.exit(
-        "docs/serving.md is stale: engine/scheduler knob(s) "
-        f"{missing} are not documented in its knob tables"
-    )
-print("docs/serving.md covers all engine and scheduler knobs")
-EOF
+        tests/test_paged_properties.py tests/test_scheduler_properties.py \
+        tests/test_analysis.py
+    # Invariant linter (rule catalog: docs/analysis.md).  Subsumes the
+    # old docs-freshness heredoc: the docs-knobs rule fails the gate if
+    # an engine/scheduler knob is missing from docs/serving.md, and the
+    # telemetry-docs rule if a ServeReport field goes undocumented or
+    # unexercised.  Also enforces RNG/clock purity, slot/page release
+    # pairing, and hot-path vectorisation.
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.analysis
 fi
 # Slow smokes of the paged-KV benchmark (equal-budget >= 2x concurrency
 # and batch=1 bit-identity), the prefix-sharing benchmark (>= 1.5x

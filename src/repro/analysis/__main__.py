@@ -1,0 +1,132 @@
+"""CLI for the invariant linter: ``python -m repro.analysis``.
+
+Exit codes:
+
+* ``0`` -- clean (every finding suppressed inline or baselined);
+* ``1`` -- at least one actionable finding (printed ``path:line:
+  [rule-id] message``);
+* ``2`` -- usage/configuration error (unknown rule id, unreadable
+  root).
+
+``scripts/check.sh`` runs the bare invocation as a tier-1 gate.  Useful
+flags: ``--rules a,b`` to run a subset, ``--list-rules`` for the
+catalog, ``--no-baseline`` to see accepted findings too, and
+``--write-baseline`` to regenerate ``analysis_baseline.txt`` (existing
+justifications are preserved; new entries get a TODO marker to fill
+in).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from . import Baseline, DEFAULT_BASELINE_NAME, default_rules, run_analysis
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST invariant linter for the repro serving stack "
+                    "(rule catalog: docs/analysis.md)",
+    )
+    parser.add_argument(
+        "--root", default=".",
+        help="project root to analyze (default: current directory)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file: report accepted findings too",
+    )
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline to accept every current finding "
+             "(existing justifications are kept)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    rules = default_rules()
+    if args.list_rules:
+        width = max(len(r.rule_id) for r in rules)
+        for rule in rules:
+            print(f"{rule.rule_id:<{width}}  {rule.description}")
+        return 0
+
+    if args.rules is not None:
+        wanted = [r.strip() for r in args.rules.split(",") if r.strip()]
+        known = {rule.rule_id: rule for rule in rules}
+        unknown = [r for r in wanted if r not in known]
+        if unknown:
+            print(
+                f"unknown rule id(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+        rules = [known[r] for r in wanted]
+
+    root = Path(args.root).resolve()
+    if not root.is_dir():
+        print(f"not a directory: {root}", file=sys.stderr)
+        return 2
+    baseline_path = (
+        Path(args.baseline) if args.baseline is not None
+        else root / DEFAULT_BASELINE_NAME
+    )
+    baseline = None if args.no_baseline else Baseline.load(baseline_path)
+
+    report = run_analysis(root, rules, baseline=baseline)
+
+    if args.write_baseline:
+        old = Baseline.load(baseline_path)
+        entries = {}
+        for finding in (*report.findings, *report.baselined):
+            entries[finding.fingerprint] = old.entries.get(
+                finding.fingerprint, ""
+            )
+        baseline_path.write_text(
+            Baseline(entries=entries).render(), encoding="utf-8"
+        )
+        print(
+            f"wrote {len(entries)} baseline entr"
+            f"{'y' if len(entries) == 1 else 'ies'} to {baseline_path}"
+        )
+        return 0
+
+    for finding in report.findings:
+        print(finding.render())
+    for fingerprint in report.stale_baseline:
+        print(
+            f"warning: stale baseline entry (no longer matches anything): "
+            f"{fingerprint}",
+            file=sys.stderr,
+        )
+    status = "clean" if report.clean else \
+        f"{len(report.findings)} finding(s)"
+    print(
+        f"repro.analysis: {status} "
+        f"({report.files_checked} files, {len(report.baselined)} "
+        f"baselined, {len(report.suppressed)} suppressed)"
+    )
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

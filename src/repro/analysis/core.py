@@ -1,0 +1,301 @@
+"""Framework plumbing for the repo's AST invariant linter.
+
+The moving parts, in the order the runner applies them:
+
+``Project``
+    Lazy file/AST cache rooted at the repo checkout.  Rules never read
+    the filesystem directly -- everything goes through the project, so
+    tests can point the same rules at a temporary tree (that is how the
+    docs-freshness acceptance test edits a *copy* of ``docs/serving.md``
+    without touching the real one).
+
+``Rule`` / ``Finding``
+    A rule walks the project and yields findings.  Every finding
+    carries a ``file:line`` anchor, the rule id, a human message, and a
+    *fingerprint* -- a line-number-free identity
+    (``path::rule::context::detail``) that survives unrelated edits, so
+    the baseline file does not churn when code above a finding moves.
+
+Suppressions
+    A finding is silenced by ``# repro: ignore[rule-id]`` on its line
+    (or on a standalone comment line directly above it).  ``ignore``
+    with no bracket silences every rule on that line; trailing prose
+    after the bracket (``-- why``) is encouraged and ignored by the
+    parser.
+
+Baseline
+    ``analysis_baseline.txt`` at the project root lists fingerprints of
+    *intentionally accepted* findings, one per line, each with a ``#``
+    justification.  Baselined findings do not fail the run; baseline
+    entries that no longer match anything are reported as stale
+    warnings so the file cannot rot silently.
+
+``run_analysis`` ties it together and returns an ``AnalysisReport``;
+``python -m repro.analysis`` (see ``__main__``) turns that into exit
+codes for ``scripts/check.sh``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+#: Directories under the project root that the runner scans for python
+#: sources.  ``tests/`` is deliberately absent: tests may monkeypatch
+#: clocks and exercise failure shapes the rules exist to forbid.
+SCAN_DIRS = ("src", "benchmarks", "examples")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[^\]]*)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation anchored at ``path:line``."""
+
+    rule: str
+    path: str          # project-relative posix path
+    line: int
+    message: str
+    fingerprint: str   # line-free identity used by the baseline file
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def make_fingerprint(path: str, rule: str, context: str, detail: str) -> str:
+    """The canonical ``path::rule::context::detail`` baseline identity.
+
+    ``context`` is usually the enclosing qualified function name (or
+    ``<module>``); ``detail`` a rule-chosen stable token such as the
+    offending call, loop iterable, knob, or field name.  Line numbers
+    are deliberately excluded.
+    """
+    return "::".join((path, rule, context, detail))
+
+
+class Rule:
+    """Base class: subclasses set ``rule_id``/``description``, implement
+    :meth:`check`."""
+
+    rule_id: str = "?"
+    description: str = ""
+
+    def check(self, project: "Project") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, path: str, line: int, message: str,
+                context: str, detail: str) -> Finding:
+        return Finding(
+            rule=self.rule_id, path=path, line=line, message=message,
+            fingerprint=make_fingerprint(path, self.rule_id, context, detail),
+        )
+
+
+class Project:
+    """A source tree plus lazy text/AST caches, addressed by relpath."""
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+        self._text: Dict[str, Optional[str]] = {}
+        self._tree: Dict[str, Optional[ast.AST]] = {}
+        self._suppressions: Dict[str, Dict[int, Optional[Set[str]]]] = {}
+
+    def path(self, relpath: str) -> Path:
+        return self.root / relpath
+
+    def has(self, relpath: str) -> bool:
+        return self.path(relpath).is_file()
+
+    def text(self, relpath: str) -> Optional[str]:
+        """File contents, or None when the file does not exist."""
+        if relpath not in self._text:
+            p = self.path(relpath)
+            self._text[relpath] = (
+                p.read_text(encoding="utf-8") if p.is_file() else None
+            )
+        return self._text[relpath]
+
+    def tree(self, relpath: str) -> Optional[ast.AST]:
+        """Parsed AST, or None when the file is missing or unparsable.
+
+        Parse failures surface as a ``syntax-error`` finding from the
+        runner, not an exception, so one broken file cannot hide every
+        other finding.
+        """
+        if relpath not in self._tree:
+            src = self.text(relpath)
+            try:
+                self._tree[relpath] = (
+                    ast.parse(src, filename=relpath)
+                    if src is not None else None
+                )
+            except SyntaxError:
+                self._tree[relpath] = None
+        return self._tree[relpath]
+
+    def iter_python_files(self) -> List[str]:
+        """Sorted project-relative paths of every analyzable source."""
+        out: List[str] = []
+        for top in SCAN_DIRS:
+            base = self.root / top
+            if not base.is_dir():
+                continue
+            for p in sorted(base.rglob("*.py")):
+                out.append(p.relative_to(self.root).as_posix())
+        return out
+
+    def iter_test_files(self) -> List[str]:
+        base = self.root / "tests"
+        if not base.is_dir():
+            return []
+        return [
+            p.relative_to(self.root).as_posix()
+            for p in sorted(base.rglob("*.py"))
+        ]
+
+    # -- suppressions ------------------------------------------------------
+
+    def _suppression_map(self, relpath: str) -> Dict[int, Optional[Set[str]]]:
+        """line -> suppressed rule ids (None = all rules)."""
+        if relpath in self._suppressions:
+            return self._suppressions[relpath]
+        table: Dict[int, Optional[Set[str]]] = {}
+        src = self.text(relpath)
+        if src is not None:
+            for lineno, line in enumerate(src.splitlines(), start=1):
+                m = _SUPPRESS_RE.search(line)
+                if not m:
+                    continue
+                rules_txt = m.group("rules")
+                rules: Optional[Set[str]]
+                if rules_txt is None or rules_txt.strip() in ("", "*"):
+                    rules = None
+                else:
+                    rules = {
+                        r.strip() for r in rules_txt.split(",") if r.strip()
+                    }
+                targets = [lineno]
+                # A standalone comment line suppresses the next line too.
+                if line.split("#", 1)[0].strip() == "":
+                    targets.append(lineno + 1)
+                for target in targets:
+                    prev = table.get(target, set())
+                    if rules is None or prev is None:
+                        table[target] = None
+                    else:
+                        table[target] = set(prev) | rules
+        self._suppressions[relpath] = table
+        return table
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rules = self._suppression_map(finding.path).get(finding.line, set())
+        return rules is None or finding.rule in (rules or set())
+
+
+# -- baseline file ---------------------------------------------------------
+
+DEFAULT_BASELINE_NAME = "analysis_baseline.txt"
+
+
+@dataclass
+class Baseline:
+    """Parsed ``analysis_baseline.txt``: fingerprint -> justification."""
+
+    entries: Dict[str, str] = field(default_factory=dict)
+    path: Optional[Path] = None
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        entries: Dict[str, str] = {}
+        if path.is_file():
+            for raw in path.read_text(encoding="utf-8").splitlines():
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                fingerprint, _, justification = line.partition("#")
+                fingerprint = fingerprint.strip()
+                if fingerprint:
+                    entries[fingerprint] = justification.strip()
+        return cls(entries=entries, path=path)
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+    def render(self) -> str:
+        lines = [
+            "# repro.analysis baseline: intentionally-accepted findings.",
+            "# One fingerprint per line; the trailing comment is the",
+            "# justification.  Regenerate with:",
+            "#   python -m repro.analysis --write-baseline",
+            "",
+        ]
+        for fingerprint in sorted(self.entries):
+            justification = self.entries[fingerprint] or "TODO: justify"
+            lines.append(f"{fingerprint}  # {justification}")
+        return "\n".join(lines) + "\n"
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one :func:`run_analysis` pass."""
+
+    findings: List[Finding] = field(default_factory=list)     # actionable
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    stale_baseline: List[str] = field(default_factory=list)   # fingerprints
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+class _SyntaxErrorRule(Rule):
+    """Internal: unparsable sources are findings, not crashes."""
+
+    rule_id = "syntax-error"
+    description = "source file fails to parse"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for relpath in project.iter_python_files():
+            if project.text(relpath) is not None and \
+                    project.tree(relpath) is None:
+                yield self.finding(
+                    relpath, 1, "file does not parse as python",
+                    context="<module>", detail="parse",
+                )
+
+
+def run_analysis(
+    root: Path,
+    rules: Sequence[Rule],
+    baseline: Optional[Baseline] = None,
+) -> AnalysisReport:
+    """Run ``rules`` over the tree at ``root``, applying suppressions and
+    the optional baseline.  Deterministic: findings sort by location."""
+    project = Project(root)
+    report = AnalysisReport(files_checked=len(project.iter_python_files()))
+    all_findings: List[Finding] = []
+    for rule in (_SyntaxErrorRule(), *rules):
+        all_findings.extend(rule.check(project))
+    all_findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+
+    matched: Set[str] = set()
+    for finding in all_findings:
+        if project.is_suppressed(finding):
+            report.suppressed.append(finding)
+        elif baseline is not None and baseline.covers(finding):
+            matched.add(finding.fingerprint)
+            report.baselined.append(finding)
+        else:
+            report.findings.append(finding)
+    if baseline is not None:
+        report.stale_baseline = sorted(
+            set(baseline.entries) - matched
+        )
+    return report

@@ -1,0 +1,256 @@
+"""``rng-purity``: no unseeded randomness or wall-clock reads in engine code.
+
+The repo's headline guarantees -- batch=1 **bit-identical** to
+``build_engine``, batch>1 **token-identical** -- only hold if the model
+and serving layers are pure functions of their inputs.  Two classes of
+impurity can silently break that:
+
+* **Unseeded RNG.**  ``np.random.rand()`` / the legacy ``np.random.*``
+  module functions / the stdlib ``random`` module draw from ambient
+  process state.  Randomness must flow in as an explicitly seeded
+  ``np.random.Generator`` (``np.random.default_rng(seed)``), which is
+  how every workload generator and the sampler already work.  Unseeded
+  draws are flagged *everywhere* the analyzer looks (``src``,
+  ``benchmarks``, ``examples``): a benchmark that cannot be replayed
+  bit-for-bit is not evidence.
+
+* **Wall-clock reads.**  ``time.time()`` / ``datetime.now()`` inside
+  the engine paths (``src/repro/model``, ``src/repro/serving``,
+  ``src/repro/core``) would make decode behaviour time-dependent.
+  ``time.perf_counter()`` / ``monotonic()`` stay legal: they only feed
+  *telemetry* (latency fields on ``ServeReport``), never control flow
+  over tokens, and the scheduler's ITL/TTFT accounting depends on them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .core import Finding, Project, Rule
+
+#: Legacy module-level numpy RNG entry points (all read/advance the
+#: hidden global state).
+_NP_LEGACY = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "seed", "get_state", "set_state", "shuffle", "permutation",
+    "choice", "bytes", "uniform", "normal", "standard_normal", "binomial",
+    "poisson", "beta", "gamma", "exponential", "lognormal", "laplace",
+    "multinomial", "multivariate_normal", "geometric", "triangular",
+})
+
+#: numpy bit generators that seed from the OS when called with no args.
+_NP_BITGENS = frozenset({"PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64"})
+
+#: stdlib ``random`` module functions backed by the hidden global Random.
+_STDLIB_RANDOM = frozenset({
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "seed", "gauss", "normalvariate", "betavariate",
+    "expovariate", "lognormvariate", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "getrandbits", "triangular",
+})
+
+#: Wall-clock reads (``time`` module attr names).
+_WALL_CLOCK = frozenset({"time", "time_ns"})
+
+#: Engine paths where wall-clock reads are forbidden outright.
+_ENGINE_PREFIXES = (
+    "src/repro/model/", "src/repro/serving/", "src/repro/core/",
+)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, rule: "RngPurityRule", relpath: str,
+                 engine_path: bool):
+        self.rule = rule
+        self.relpath = relpath
+        self.engine_path = engine_path
+        self.findings: List[Finding] = []
+        self._stack: List[str] = []
+        self._np_aliases = {"numpy"}
+        self._time_imported = False
+        self._random_imported = False
+
+    @property
+    def _context(self) -> str:
+        return ".".join(self._stack) if self._stack else "<module>"
+
+    def _emit(self, line: int, message: str, detail: str) -> None:
+        self.findings.append(self.rule.finding(
+            self.relpath, line, message, self._context, detail,
+        ))
+
+    # -- imports -----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "numpy":
+                self._np_aliases.add(alias.asname or "numpy")
+            elif alias.name == "numpy.random" and alias.asname:
+                self._np_aliases.add(alias.asname + "!random")
+            elif alias.name == "time" and alias.asname is None:
+                self._time_imported = True
+            elif alias.name == "random" and alias.asname is None:
+                self._random_imported = True
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        names = {alias.name for alias in node.names}
+        if node.module == "numpy.random":
+            for bad in sorted(names & (_NP_LEGACY | _NP_BITGENS)):
+                self._emit(
+                    node.lineno,
+                    f"import of numpy.random.{bad}: legacy global-state "
+                    "RNG; thread a seeded np.random.default_rng(seed) "
+                    "Generator through instead",
+                    f"import:{bad}",
+                )
+        elif node.module == "random":
+            for bad in sorted(names & _STDLIB_RANDOM):
+                self._emit(
+                    node.lineno,
+                    f"import of random.{bad}: stdlib global-state RNG; "
+                    "use a seeded np.random.default_rng(seed) Generator",
+                    f"import:{bad}",
+                )
+        elif node.module == "time" and self.engine_path:
+            for bad in sorted(names & _WALL_CLOCK):
+                self._emit(
+                    node.lineno,
+                    f"import of time.{bad}: wall-clock read in an engine "
+                    "path; inject a clock (or use perf_counter for "
+                    "telemetry only)",
+                    f"import:{bad}",
+                )
+        self.generic_visit(node)
+
+    # -- scopes ------------------------------------------------------------
+
+    def _visit_scope(self, node) -> None:
+        self._stack.append(node.name)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    visit_FunctionDef = _visit_scope
+    visit_AsyncFunctionDef = _visit_scope
+    visit_ClassDef = _visit_scope
+
+    # -- calls -------------------------------------------------------------
+
+    def _np_random_attr(self, dotted: str) -> Optional[str]:
+        """``'rand'`` for ``np.random.rand`` etc., else None."""
+        parts = dotted.split(".")
+        if len(parts) >= 3 and parts[0] in self._np_aliases \
+                and parts[-2] == "random":
+            return parts[-1]
+        if len(parts) == 2 and (parts[0] + "!random") in self._np_aliases:
+            return parts[-1]
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is not None:
+            self._check_call(node, dotted)
+        self.generic_visit(node)
+
+    def _check_call(self, node: ast.Call, dotted: str) -> None:
+        no_args = not node.args and not node.keywords
+        np_attr = self._np_random_attr(dotted)
+        if np_attr is not None:
+            if np_attr in _NP_LEGACY:
+                self._emit(
+                    node.lineno,
+                    f"{dotted}(): legacy global-state numpy RNG; thread a "
+                    "seeded np.random.default_rng(seed) Generator through "
+                    "instead",
+                    dotted,
+                )
+            elif np_attr == "default_rng" and no_args:
+                self._emit(
+                    node.lineno,
+                    f"{dotted}() without a seed draws entropy from the OS; "
+                    "pass an explicit seed so runs are replayable",
+                    dotted,
+                )
+            elif np_attr in _NP_BITGENS and no_args:
+                self._emit(
+                    node.lineno,
+                    f"{dotted}() without a seed draws entropy from the OS; "
+                    "pass an explicit seed so runs are replayable",
+                    dotted,
+                )
+            return
+        parts = dotted.split(".")
+        if self._random_imported and len(parts) == 2 \
+                and parts[0] == "random":
+            if parts[1] in _STDLIB_RANDOM:
+                self._emit(
+                    node.lineno,
+                    f"{dotted}(): stdlib global-state RNG; use a seeded "
+                    "np.random.default_rng(seed) Generator",
+                    dotted,
+                )
+            elif parts[1] == "Random" and no_args:
+                self._emit(
+                    node.lineno,
+                    "random.Random() without a seed draws entropy from "
+                    "the OS; pass an explicit seed",
+                    dotted,
+                )
+            return
+        if self.engine_path:
+            if self._time_imported and len(parts) == 2 \
+                    and parts[0] == "time" and parts[1] in _WALL_CLOCK:
+                self._emit(
+                    node.lineno,
+                    f"{dotted}(): wall-clock read in an engine path makes "
+                    "decode state time-dependent; use time.perf_counter() "
+                    "for telemetry or inject a clock",
+                    dotted,
+                )
+            elif len(parts) >= 2 and parts[-1] in ("now", "utcnow", "today") \
+                    and any(p in ("datetime", "date") for p in parts[:-1]):
+                self._emit(
+                    node.lineno,
+                    f"{dotted}(): wall-clock read in an engine path; "
+                    "inject a clock instead",
+                    dotted,
+                )
+
+
+class RngPurityRule(Rule):
+    """No unseeded RNG anywhere; no wall-clock reads in engine paths."""
+
+    rule_id = "rng-purity"
+    description = (
+        "unseeded np.random.*/random.* draws anywhere, and "
+        "time.time()/datetime.now() inside src/repro/{model,serving,core}, "
+        "break the bit-identity guarantees"
+    )
+
+    def __init__(self, engine_prefixes: Sequence[str] = _ENGINE_PREFIXES):
+        self.engine_prefixes: Tuple[str, ...] = tuple(engine_prefixes)
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for relpath in project.iter_python_files():
+            tree = project.tree(relpath)
+            if tree is None:
+                continue
+            visitor = _Visitor(
+                self, relpath,
+                engine_path=relpath.startswith(self.engine_prefixes),
+            )
+            visitor.visit(tree)
+            yield from visitor.findings

@@ -458,6 +458,10 @@ class BatchedEngine:
                 logits = self._forward_chunk(ids[start:start + chunk], slot)
             return logits
         logits = None
+        # prefill_chunk=0 is the contract path: token-by-token is what
+        # "bit-identical to build_engine" means; the vectorised
+        # alternative is _forward_chunk.
+        # repro: ignore[scalar-loop] -- bit-identity contract path
         for tok in prompt_ids:
             logits = self._forward_single(int(tok), slot, self.prefill_mlp)
         return logits
@@ -563,6 +567,10 @@ class BatchedEngine:
                 ctx = plan.attend_layer(layer, q, k, v, self.cache)
             else:
                 ctx = np.empty_like(x)
+                # Deliberate scalar fallback when
+                # batched_attention=False; it anchors the
+                # token-identity equivalence sweep of the batched path.
+                # repro: ignore[scalar-loop] -- equivalence anchor
                 for i, slot in enumerate(slots):
                     ctx[i] = attend_single(
                         cfg, q[i], k[i], v[i], positions[i], slot, layer,

@@ -667,7 +667,14 @@ class ContinuousBatchingScheduler:
                 self.active.append(seq)
                 continue
             t0 = time.perf_counter()
-            logits = self.engine.prefill(slot, prompt_suffix)
+            try:
+                logits = self.engine.prefill(slot, prompt_suffix)
+            except BaseException:
+                # A crashing prefill must not leak the admission's slot
+                # and reserved pages: the request is already popped, so
+                # nothing else holds a handle that could release them.
+                self.engine.release_slot(slot)
+                raise
             self.report.prefill_seconds += time.perf_counter() - t0
             self.report.prefill_tokens += len(prompt_suffix)
             self._tick_prefill_tokens += len(prompt_suffix)
