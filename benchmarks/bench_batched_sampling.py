@@ -1,0 +1,295 @@
+"""Vectorised batched sampling vs a per-row scalar sampler loop.
+
+PR 8 replaced the scheduler's per-sequence greedy argmax -- the last
+scalar per-element loop on the decode hot path, carried for one PR as an
+accepted ``scalar-loop`` baseline entry -- with one
+``BatchedSampler.sample`` call over the stacked ``(B, vocab)`` logits.
+This benchmark measures what that buys and proves it changes nothing:
+
+1. **Kernel wall-clock**: sampling ``N_STEPS`` batches of ``(B, vocab)``
+   logits through one vectorised call vs ``B`` scalar ``Sampler.sample``
+   calls per step, across batch sizes.  Tokens are asserted identical
+   draw-for-draw first (the scalar path shares the batched kernel and
+   the per-request streams), then each side is timed on its own pass.
+   The win grows with batch size: the scalar loop pays Python dispatch
+   and ``(1, vocab)`` kernel overhead per row, the batched call pays
+   once per step.
+2. **Serving reproducibility**: a mixed greedy/stochastic workload
+   drained at batch 4 generates exactly the same per-request tokens as
+   the same requests drained at batch 1 -- per-request streams keyed by
+   ``(seed, request_id)`` make tokens independent of batch composition
+   -- and the run's sampler wall-clock share stays small.
+
+Results land as JSON in ``benchmarks/results/batched_sampling.json``.
+
+Run:  python benchmarks/bench_batched_sampling.py
+or:   pytest benchmarks/bench_batched_sampling.py -q -m slow -p no:cacheprovider
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+for _var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS",
+             "NUMEXPR_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import numpy as np
+import pytest
+
+from repro.core.engine import build_batched_engine
+from repro.model.config import ModelConfig
+from repro.model.sampler import BatchedSampler, Sampler, SamplerConfig
+from repro.model.weights import random_weights
+from repro.serving import ContinuousBatchingScheduler, Request
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+VOCAB = 2048
+N_STEPS = 200
+BATCH_SIZES = (1, 2, 4, 8, 16)
+KERNEL_CFG = SamplerConfig(temperature=0.9, top_k=64, top_p=0.95, seed=7)
+
+SERVE_VOCAB = 64
+SERVE_BATCH = 4
+SERVE_PROMPT = 10
+SERVE_NEW = 24
+SERVE_REQUESTS = 8
+SERVE_CFG = SamplerConfig(temperature=0.8, top_k=16, top_p=0.9, seed=21)
+
+
+def bench_config() -> ModelConfig:
+    return ModelConfig(
+        name="batched-sampling-bench",
+        vocab_size=SERVE_VOCAB,
+        d_model=64,
+        n_layers=2,
+        n_heads=2,
+        d_ff=128,
+        max_seq_len=SERVE_PROMPT + SERVE_NEW + 8,
+        dtype_bytes=4,
+    )
+
+
+# -- kernel comparison ------------------------------------------------------
+
+def kernel_logits(batch: int) -> list:
+    rng = np.random.default_rng(97)
+    return [
+        rng.normal(size=(batch, VOCAB)).astype(np.float32)
+        for _ in range(N_STEPS)
+    ]
+
+
+def run_batched(logits_steps, batch: int) -> tuple:
+    """(tokens per step, wall seconds) for the one-call-per-step path."""
+    sampler = BatchedSampler()
+    configs = [KERNEL_CFG] * batch
+    request_ids = list(range(batch))
+    tokens = []
+    t0 = time.perf_counter()
+    for logits in logits_steps:
+        tokens.append(sampler.sample(logits, configs, request_ids).tolist())
+    return tokens, time.perf_counter() - t0
+
+
+def run_scalar_loop(logits_steps, batch: int) -> tuple:
+    """(tokens per step, wall seconds) for the per-row scalar loop --
+    the shape of code the scalar-loop lint rule exists to keep out of
+    the scheduler."""
+    samplers = [Sampler.for_request(KERNEL_CFG, r) for r in range(batch)]
+    tokens = []
+    t0 = time.perf_counter()
+    for logits in logits_steps:
+        tokens.append(
+            [samplers[row].sample(logits[row]) for row in range(batch)]
+        )
+    return tokens, time.perf_counter() - t0
+
+
+def run_kernel_comparison() -> list:
+    # Best-of-2 per side: wall-clock wobbles under machine load and the
+    # absolute times are tiny (same convention as the serving benchmark).
+    points = []
+    for batch in BATCH_SIZES:
+        steps = kernel_logits(batch)
+        batched_tokens, batched_s = run_batched(steps, batch)
+        scalar_tokens, scalar_s = run_scalar_loop(steps, batch)
+        assert batched_tokens == scalar_tokens, (
+            f"batched and scalar draws diverged at batch {batch}"
+        )
+        batched_s = min(batched_s, run_batched(steps, batch)[1])
+        scalar_s = min(scalar_s, run_scalar_loop(steps, batch)[1])
+        points.append({
+            "batch": batch,
+            "batched_seconds": round(batched_s, 4),
+            "scalar_seconds": round(scalar_s, 4),
+            "speedup": round(scalar_s / batched_s, 2),
+            "tokens": batch * N_STEPS,
+        })
+    return points
+
+
+def check_kernel_points(points) -> None:
+    # Identity is asserted inside the run; here: the vectorised call
+    # must beat the scalar loop once there is an actual batch.  The
+    # margin is deliberately modest (wall-clock, tiny absolute times).
+    for point in points:
+        if point["batch"] >= 4:
+            assert point["speedup"] >= 1.2, (
+                f"batch {point['batch']}: batched sampling only "
+                f"{point['speedup']}x over the scalar loop"
+            )
+
+
+# -- serving reproducibility ------------------------------------------------
+
+def serve_workload() -> list:
+    rng = np.random.default_rng(55)
+    requests = []
+    for i in range(SERVE_REQUESTS):
+        prompt = tuple(int(t) for t in
+                       rng.integers(1, SERVE_VOCAB, size=SERVE_PROMPT))
+        requests.append(Request(
+            request_id=i, prompt_ids=prompt, max_new_tokens=SERVE_NEW,
+            sampling=SERVE_CFG if i % 2 else None,   # mixed greedy/sampled
+        ))
+    return requests
+
+
+def drain(weights, requests, max_batch_size: int):
+    engine = build_batched_engine(
+        weights, max_batch_size=max_batch_size, paged=True,
+    )
+    scheduler = ContinuousBatchingScheduler(engine)
+    for request in requests:
+        scheduler.submit(request)
+    report = scheduler.run()
+    assert all(c.ok for c in report.completions)
+    return report
+
+
+def run_serving_comparison() -> tuple:
+    weights = random_weights(bench_config(), seed=23)
+    requests = serve_workload()
+    solo = drain(weights, requests, max_batch_size=1)
+    batched = drain(weights, requests, max_batch_size=SERVE_BATCH)
+    return solo, batched
+
+
+def check_serving(solo, batched) -> None:
+    solo_out = {c.request_id: c.generated_ids for c in solo.completions}
+    batch_out = {c.request_id: c.generated_ids for c in batched.completions}
+    assert solo_out == batch_out, (
+        "batch composition changed seeded sampling output"
+    )
+    half = SERVE_REQUESTS // 2
+    expected_sampled = half * SERVE_NEW
+    for report in (solo, batched):
+        assert report.sampled_tokens == expected_sampled
+        assert report.greedy_tokens + report.sampled_tokens \
+            == report.tokens_generated
+        assert report.sampler_seconds < 0.5 * report.wall_seconds, (
+            "sampling dominated the serving wall-clock"
+        )
+
+
+def serving_dict(report, label) -> dict:
+    return {
+        "label": label,
+        "tokens_generated": report.tokens_generated,
+        "greedy_tokens": report.greedy_tokens,
+        "sampled_tokens": report.sampled_tokens,
+        "sampler_seconds": round(report.sampler_seconds, 4),
+        "sampler_share": round(
+            report.sampler_seconds / report.wall_seconds, 4
+        ) if report.wall_seconds else 0.0,
+        "decode_tokens_per_second": round(report.decode_tokens_per_second, 1),
+    }
+
+
+# -- reporting --------------------------------------------------------------
+
+def format_report(points, solo, batched) -> str:
+    lines = [
+        f"batched sampling kernel: (B, {VOCAB}) logits x {N_STEPS} steps, "
+        f"top_k={KERNEL_CFG.top_k} top_p={KERNEL_CFG.top_p} "
+        f"(tokens identical by assertion)",
+        "",
+        f"{'batch':>6}{'scalar loop':>13}{'batched':>10}{'speedup':>9}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p['batch']:>6}{p['scalar_seconds']:>12.3f}s"
+            f"{p['batched_seconds']:>9.3f}s{p['speedup']:>8.2f}x"
+        )
+    lines += [
+        "",
+        f"serving: {SERVE_REQUESTS} requests (half greedy, half seeded "
+        f"sampling), batch 1 vs {SERVE_BATCH} -- per-request tokens "
+        f"identical",
+        f"  batch 1: {solo.sampled_tokens} sampled / "
+        f"{solo.greedy_tokens} greedy, sampler "
+        f"{solo.sampler_seconds * 1e3:.1f}ms",
+        f"  batch {SERVE_BATCH}: {batched.sampled_tokens} sampled / "
+        f"{batched.greedy_tokens} greedy, sampler "
+        f"{batched.sampler_seconds * 1e3:.1f}ms",
+    ]
+    return "\n".join(lines)
+
+
+def write_json(points, solo, batched) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "batched_sampling.json"
+    payload = {
+        "benchmark": "batched_sampling",
+        "kernel": {
+            "vocab": VOCAB,
+            "n_steps": N_STEPS,
+            "config": {
+                "temperature": KERNEL_CFG.temperature,
+                "top_k": KERNEL_CFG.top_k,
+                "top_p": KERNEL_CFG.top_p,
+                "seed": KERNEL_CFG.seed,
+            },
+            "points": points,
+        },
+        "serving": {
+            "n_requests": SERVE_REQUESTS,
+            "max_new_tokens": SERVE_NEW,
+            "solo": serving_dict(solo, "batch=1"),
+            "batched": serving_dict(batched, f"batch={SERVE_BATCH}"),
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def main() -> int:
+    points = run_kernel_comparison()
+    solo, batched = run_serving_comparison()
+    print(format_report(points, solo, batched))
+    check_kernel_points(points)
+    check_serving(solo, batched)
+    best = max(p["speedup"] for p in points)
+    print(f"\nall batched-sampling checks passed (draws identical; "
+          f"best kernel speedup {best:.2f}x; serving tokens invariant "
+          f"to batch composition)")
+    path = write_json(points, solo, batched)
+    print(f"results -> {path.relative_to(Path.cwd())}"
+          if path.is_relative_to(Path.cwd()) else f"results -> {path}")
+    return 0
+
+
+@pytest.mark.slow
+def test_batched_sampling_smoke():
+    """Pytest entry point mirroring the script run (tier-2 smoke)."""
+    points = run_kernel_comparison()
+    check_kernel_points(points)
+    solo, batched = run_serving_comparison()
+    check_serving(solo, batched)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,7 @@ if [ "$#" -eq 0 ]; then
     PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q \
         tests/test_serving.py tests/test_paged_kv.py \
         tests/test_paged_properties.py tests/test_scheduler_properties.py \
-        tests/test_analysis.py
+        tests/test_batched_sampling.py tests/test_analysis.py
     # Invariant linter (rule catalog: docs/analysis.md).  Subsumes the
     # old docs-freshness heredoc: the docs-knobs rule fails the gate if
     # an engine/scheduler knob is missing from docs/serving.md, and the
@@ -32,16 +32,20 @@ fi
 # skip^B), the prefix-cache benchmark (>= 50% of prompt tokens revived
 # on bursty non-overlapping traffic, tokens identical to cold prefill),
 # the batched-attention benchmark (decode-step win at batch >= 4,
-# >= 2x chunked-prefill win, tokens identical), and the
+# >= 2x chunked-prefill win, tokens identical), the
 # interleaved-prefill benchmark (budgeted ticks bound the worst tick
 # feed to step_budget and shave the residents' max inter-token stall,
-# tokens identical to inline prefill; JSON into benchmarks/results/);
-# opt in because they decode real workloads.
+# tokens identical to inline prefill), and the batched-sampling
+# benchmark (one vectorised sampler call beats the per-row scalar loop
+# at batch >= 4, draws identical, serving tokens invariant to batch
+# composition; JSON into benchmarks/results/); opt in because they
+# decode real workloads.
 if [ "${CHECK_SLOW:-0}" = "1" ]; then
     PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q \
         -m slow -p no:cacheprovider benchmarks/bench_paged_kv.py \
         benchmarks/bench_prefix_sharing.py \
         benchmarks/bench_prefix_cache.py \
         benchmarks/bench_batched_attention.py \
-        benchmarks/bench_interleaved_prefill.py
+        benchmarks/bench_interleaved_prefill.py \
+        benchmarks/bench_batched_sampling.py
 fi

@@ -41,6 +41,18 @@ HOT_FUNCTIONS: Dict[Tuple[str, str], FrozenSet[str]] = {
     ("src/repro/serving/scheduler.py",
      "ContinuousBatchingScheduler.step"):
         frozenset({"self.active", "decoding", "slots"}),
+    # Batched per-request sampling (PR 8): the (B, vocab) kernel call
+    # and its scheduler driver must stay one vectorised pass per tick.
+    # Per-row uniforms come from a comprehension over the request
+    # streams (metadata, exempt); a `for` statement over these batch
+    # identifiers would mean the per-sequence argmax loop grew back.
+    ("src/repro/model/sampler.py", "BatchedSampler.sample"):
+        frozenset({"logits", "configs", "request_ids", "rows"}),
+    ("src/repro/model/sampler.py", "filtered_probs"):
+        frozenset({"logits", "temperatures", "top_ks", "top_ps"}),
+    ("src/repro/serving/scheduler.py",
+     "ContinuousBatchingScheduler._sample_tokens"):
+        frozenset({"seqs", "logits", "configs"}),
 }
 
 #: Calls that do not count as per-element work (O(1) bookkeeping).

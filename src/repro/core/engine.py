@@ -103,6 +103,7 @@ def build_batched_engine(
     batched_attention: bool = False,
     attn_bucket_min_fill: float = 0.5,
     prefill_chunk: int = 0,
+    sampling=None,
 ):
     """A serving-grade batched SparseInfer engine.
 
@@ -121,7 +122,11 @@ def build_batched_engine(
     stack + length mask, bucketed by ``attn_bucket_min_fill`` -- see
     :mod:`repro.model.batch_attention`), and ``prefill_chunk > 0``
     vectorises prompt prefill into causal chunks of that many tokens;
-    both are token-identical to the scalar loops they replace.  Returns
+    both are token-identical to the scalar loops they replace.
+    ``sampling`` sets the engine-default
+    :class:`~repro.model.sampler.SamplerConfig` for requests that carry
+    no per-request config (``None`` = greedy argmax, the pre-sampling
+    behaviour).  Returns
     a :class:`repro.serving.engine.BatchedEngine`: per-sequence KV
     slots, dense per-sequence prefill, batched sparse decode exploiting
     the cross-sequence intersection of predicted skip sets (imported
@@ -143,4 +148,5 @@ def build_batched_engine(
         batched_attention=batched_attention,
         attn_bucket_min_fill=attn_bucket_min_fill,
         prefill_chunk=prefill_chunk,
+        sampling=sampling,
     )

@@ -207,6 +207,12 @@ class ServingMeasurement:
     peak_tick_prefill_tokens: int = 0
     replayed_tokens: int = 0
     replay_seconds: float = 0.0
+    # Sampling telemetry (engine/request sampling configs): the
+    # greedy-vs-stream token split and the vectorised sampler's wall
+    # time (ServeReport.greedy_tokens / sampled_tokens / sampler_seconds).
+    greedy_tokens: int = 0
+    sampled_tokens: int = 0
+    sampler_seconds: float = 0.0
     ttft_p50_seconds: float = 0.0
     ttft_p99_seconds: float = 0.0
     itl_p50_seconds: float = 0.0
@@ -215,7 +221,8 @@ class ServingMeasurement:
 
     @property
     def wall_seconds(self) -> float:
-        return self.prefill_seconds + self.decode_seconds + self.replay_seconds
+        return (self.prefill_seconds + self.decode_seconds
+                + self.replay_seconds + self.sampler_seconds)
 
     @property
     def tokens_per_second(self) -> float:
@@ -246,6 +253,7 @@ def measure_batched_serving(
     prefill_chunk: int = 0,
     step_budget: int = 0,
     preemption: bool = False,
+    sampling=None,
 ) -> ServingMeasurement:
     """Drain ``requests`` through a batched engine and measure throughput.
 
@@ -255,7 +263,9 @@ def measure_batched_serving(
     prefill knobs mirror :func:`repro.core.engine.build_batched_engine`
     and the scheduler's ``reorder_window`` (correlation-aware
     admission), ``step_budget`` (per-tick prefill piggybacking) and
-    ``preemption`` (priority eviction) knobs.
+    ``preemption`` (priority eviction) knobs.  ``sampling`` sets the
+    engine-default :class:`repro.model.sampler.SamplerConfig` for
+    requests without their own (None = greedy argmax).
     """
     from ..core.engine import build_batched_engine
     from ..serving.scheduler import ContinuousBatchingScheduler
@@ -268,6 +278,7 @@ def measure_batched_serving(
         batched_attention=batched_attention,
         attn_bucket_min_fill=attn_bucket_min_fill,
         prefill_chunk=prefill_chunk,
+        sampling=sampling,
     )
     scheduler = ContinuousBatchingScheduler(
         engine, reorder_window=reorder_window,
@@ -290,6 +301,8 @@ def measure_batched_serving(
         label += f"+budget{step_budget}"
     if preemption:
         label += "+preempt"
+    if sampling is not None and sampling.temperature > 0:
+        label += f"+sampled(T={sampling.temperature:g})"
     return ServingMeasurement(
         label=label,
         max_batch_size=max_batch_size,
@@ -319,6 +332,9 @@ def measure_batched_serving(
         peak_tick_prefill_tokens=report.peak_tick_prefill_tokens,
         replayed_tokens=report.replayed_tokens,
         replay_seconds=report.replay_seconds,
+        greedy_tokens=report.greedy_tokens,
+        sampled_tokens=report.sampled_tokens,
+        sampler_seconds=report.sampler_seconds,
         ttft_p50_seconds=report.ttft_seconds_percentile(50),
         ttft_p99_seconds=report.ttft_seconds_percentile(99),
         itl_p50_seconds=report.itl_seconds_percentile(50),

@@ -94,6 +94,33 @@ def format_serving_sweep(baseline, points, analytic_skips=None) -> str:
     return markdown_table(headers, rows)
 
 
+def format_sampling(points) -> str:
+    """Render the per-configuration sampling split (PR 8 telemetry).
+
+    ``points`` are :class:`repro.eval.latency.ServingMeasurement`
+    objects.  ``greedy_tokens`` / ``sampled_tokens`` split every
+    emitted token by decode mode (batched argmax vs per-request RNG
+    stream); ``sampler_seconds`` is the vectorised sampler's share of
+    the wall-clock, so the sampler column staying a sliver of tok/s
+    cost is the evidence batched sampling rides along for free.
+    """
+    headers = ["engine", "greedy", "sampled", "sampler (ms)",
+               "sampler share", "tok/s"]
+    rows = []
+    for point in points:
+        share = (point.sampler_seconds / point.wall_seconds
+                 if point.wall_seconds else 0.0)
+        rows.append([
+            point.label,
+            str(point.greedy_tokens),
+            str(point.sampled_tokens),
+            f"{point.sampler_seconds * 1e3:.2f}",
+            f"{share:.1%}",
+            f"{point.tokens_per_second:.1f}",
+        ])
+    return markdown_table(headers, rows)
+
+
 def format_tail_latency(points) -> str:
     """Render per-configuration tail latency (budgeted-tick telemetry).
 

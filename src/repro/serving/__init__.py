@@ -30,6 +30,13 @@ Pieces:
   (:class:`repro.model.paged_kvcache.PagedKVCache`) where short requests
   hold only the pages they touch and admission is gated on worst-case
   page demand.
+* :mod:`repro.model.sampler` (re-exported here) -- per-request decode
+  modes: :class:`Request.sampling` carries a
+  :class:`~repro.model.sampler.SamplerConfig` and each decode tick
+  samples the whole batch in one vectorised
+  :class:`~repro.model.sampler.BatchedSampler` call, stochastic rows
+  drawing from per-request RNG streams keyed by ``(seed, request_id)``
+  so tokens reproduce regardless of batch composition or preemption.
 * :mod:`repro.serving.scheduler` -- continuous batching: admit from the
   queue the moment a slot (and, when paged, its pages) frees, retire
   finished sequences, never starve.  With ``prefix_sharing=True`` on the
@@ -48,6 +55,7 @@ Pieces:
 knob and every ``ServeReport`` telemetry field.
 """
 
+from ..model.sampler import BatchedSampler, Sampler, SamplerConfig
 from .batch_mlp import BatchedMLPStats, BatchedSparseInferMLP
 from .engine import BatchedEngine, PrefixIndex
 from .queue import EmptyQueueError, RequestQueue
@@ -57,6 +65,7 @@ from .scheduler import ContinuousBatchingScheduler, ServeReport
 __all__ = [
     "BatchedEngine",
     "BatchedMLPStats",
+    "BatchedSampler",
     "BatchedSparseInferMLP",
     "Completion",
     "ContinuousBatchingScheduler",
@@ -64,5 +73,7 @@ __all__ = [
     "PrefixIndex",
     "Request",
     "RequestQueue",
+    "Sampler",
+    "SamplerConfig",
     "ServeReport",
 ]

@@ -64,6 +64,7 @@ from ..model.paged_kvcache import (
 from ..model.mlp import DenseMLP, MLPExecutor
 from ..model.norm import rmsnorm
 from ..model.rope import apply_rope, rope_for_position, rope_tables
+from ..model.sampler import BatchedSampler, SamplerConfig
 from ..model.weights import ModelWeights
 from .batch_mlp import BatchedSparseInferMLP
 
@@ -223,6 +224,14 @@ class BatchedEngine:
         ``T`` sequential token steps to ``ceil(T / chunk)`` matrix
         steps.  0 keeps the scalar loop (bit-identical to the
         single-sequence engine); chunked prefill is token-identical.
+    sampling:
+        Default :class:`~repro.model.sampler.SamplerConfig` for
+        requests that do not carry their own ``Request.sampling``.
+        ``None`` (the default) means greedy argmax -- exactly the
+        pre-sampling scheduler behaviour.  The engine owns one
+        :class:`~repro.model.sampler.BatchedSampler` either way; it
+        consumes the stacked decode logits in one vectorised pass and
+        draws stochastic rows from per-request RNG streams.
     """
 
     def __init__(
@@ -240,6 +249,7 @@ class BatchedEngine:
         batched_attention: bool = False,
         attn_bucket_min_fill: float = DEFAULT_BUCKET_MIN_FILL,
         prefill_chunk: int = 0,
+        sampling: Optional[SamplerConfig] = None,
     ):
         weights.validate()
         self.weights = weights
@@ -288,6 +298,8 @@ class BatchedEngine:
                 f"prefill_chunk must be >= 0, got {prefill_chunk}"
             )
         self.prefill_chunk = prefill_chunk
+        self.sampling = sampling if sampling is not None else SamplerConfig()
+        self.sampler = BatchedSampler(self.sampling)
         self.batched_attention = batched_attention
         self.attention = BatchedAttention(
             self.config, bucket_min_fill=attn_bucket_min_fill

@@ -5,14 +5,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..model.sampler import SamplerConfig
+
 
 @dataclass(frozen=True)
 class Request:
     """One generation request submitted to the serving queue.
 
     Semantics match :meth:`repro.model.inference.InferenceModel.generate`:
-    greedy decoding of up to ``max_new_tokens`` tokens, stopping early if
-    the next token falls in ``stop_ids`` (the stop token is not emitted).
+    decoding of up to ``max_new_tokens`` tokens, stopping early if the
+    next token falls in ``stop_ids`` (the stop token is not emitted).
+
+    ``sampling`` selects this request's decode mode: ``None`` inherits
+    the engine's default :class:`~repro.model.sampler.SamplerConfig`
+    (greedy argmax unless the engine was built with a ``sampling``
+    override).  A stochastic config draws from a per-request RNG stream
+    keyed by ``(sampling.seed, request_id)``, so the request's tokens
+    reproduce regardless of batch composition, admission order, or
+    preemption (see :class:`~repro.model.sampler.BatchedSampler`).
 
     ``priority`` orders requests for *preemption only*: admission stays
     FIFO (plus the bounded ``reorder_window``), but a scheduler running
@@ -27,6 +37,7 @@ class Request:
     max_new_tokens: int
     stop_ids: Optional[frozenset] = None
     priority: int = 0
+    sampling: Optional[SamplerConfig] = None
 
     def __post_init__(self):
         if not self.prompt_ids:
@@ -37,6 +48,10 @@ class Request:
         if self.stop_ids is not None:
             object.__setattr__(self, "stop_ids", frozenset(int(t) for t in self.stop_ids))
         object.__setattr__(self, "priority", int(self.priority))
+        if self.sampling is not None and not isinstance(self.sampling, SamplerConfig):
+            raise ValueError(
+                f"sampling must be a SamplerConfig or None, got {type(self.sampling).__name__}"
+            )
 
     @property
     def prompt_len(self) -> int:

@@ -18,8 +18,17 @@ Each scheduler tick:
    whole prompt prefills cold.  Both shared paths charge only the
    unshared worst case -- cached pages count as reservable because the
    pool evicts them on demand;
-3. run one batched decode step over all active sequences and sample each
-   sequence's next token.
+3. run one batched decode step over all active sequences and sample
+   every sequence's next token in **one** vectorised
+   :class:`~repro.model.sampler.BatchedSampler` call over the stacked
+   ``(B, vocab)`` logits -- per-request
+   :class:`~repro.model.sampler.SamplerConfig` (``Request.sampling``,
+   falling back to the engine default), greedy rows argmax'd as a batch
+   reduction, stochastic rows drawn from per-request RNG streams keyed
+   by ``(seed, request_id)``.  Stop-id handling, telemetry stamps, and
+   the optional streaming ``on_token`` callback are unified in one
+   emission path shared by prefill-sampled first tokens and decode
+   tokens.
 
 Sequences join and leave the batch at step granularity (continuous
 batching): a finishing request never blocks on its batch-mates and a
@@ -178,6 +187,14 @@ class ServeReport:
     comes from the completions themselves: :meth:`ttft_seconds_percentile`
     and :meth:`itl_seconds_percentile` aggregate per-request
     time-to-first-token and inter-token gaps.
+
+    Sampling telemetry (PR 8): ``greedy_tokens`` counts tokens emitted
+    by batched argmax (``temperature == 0``), ``sampled_tokens`` those
+    drawn from a per-request RNG stream (stochastic configs), and
+    ``sampler_seconds`` the wall time the vectorised sampler spent
+    turning stacked logits into token ids (part of
+    :attr:`wall_seconds`).  ``greedy_tokens + sampled_tokens ==
+    tokens_generated`` always holds.
     """
 
     completions: List[Completion] = field(default_factory=list)
@@ -219,10 +236,14 @@ class ServeReport:
     resumed_admissions: int = 0        # admissions restoring an evictee
     replayed_tokens: int = 0           # decode-path tokens re-fed on resume
     replay_seconds: float = 0.0        # wall time spent in that replay
+    greedy_tokens: int = 0             # tokens emitted by batched argmax
+    sampled_tokens: int = 0            # tokens drawn from request RNG streams
+    sampler_seconds: float = 0.0       # wall time in the vectorised sampler
 
     @property
     def wall_seconds(self) -> float:
-        return self.prefill_seconds + self.decode_seconds + self.replay_seconds
+        return (self.prefill_seconds + self.decode_seconds
+                + self.replay_seconds + self.sampler_seconds)
 
     @property
     def mean_batch_occupancy(self) -> float:
@@ -363,6 +384,13 @@ class ContinuousBatchingScheduler:
     decode (see module docstring).  ``preemption`` enables
     priority-based eviction of residents for a starved higher-priority
     head; with every request at the default priority it never fires.
+
+    ``on_token`` is an optional streaming callback, invoked as
+    ``on_token(request_id, token_id, step)`` for every *emitted* token
+    the instant the emission path records it -- stop tokens are never
+    reported (they are never emitted), and a resumed sequence's replayed
+    tokens are not re-reported.  The callback runs synchronously inside
+    the tick; an exception it raises propagates out of :meth:`step`.
     """
 
     def __init__(
@@ -373,6 +401,7 @@ class ContinuousBatchingScheduler:
         reorder_window: int = 0,
         step_budget: int = 0,
         preemption: bool = False,
+        on_token=None,
     ):
         if reorder_window < 0:
             raise ValueError(
@@ -382,6 +411,11 @@ class ContinuousBatchingScheduler:
             raise ValueError(
                 f"step_budget must be >= 0, got {step_budget}"
             )
+        if on_token is not None and not callable(on_token):
+            raise ValueError(
+                f"on_token must be callable or None, got {type(on_token).__name__}"
+            )
+        self.on_token = on_token
         self.engine = engine
         self.queue = queue if queue is not None else RequestQueue()
         self.max_batch_size = min(
@@ -471,10 +505,61 @@ class ContinuousBatchingScheduler:
 
     # -- one tick ----------------------------------------------------------
 
-    def _greedy(self, logits: np.ndarray) -> int:
-        return int(np.argmax(logits))
+    def _sampling_of(self, request: Request):
+        """The request's effective SamplerConfig (engine default fallback)."""
+        if request.sampling is not None:
+            return request.sampling
+        return self.engine.sampler.default
+
+    def _sample_tokens(self, seqs, logits: np.ndarray) -> np.ndarray:
+        """Next token per sequence, in one vectorised sampler call.
+
+        ``logits`` is the stacked ``(B, vocab)`` decode output with row
+        ``i`` belonging to ``seqs[i]``.  Greedy rows are argmax'd as one
+        batch reduction; stochastic rows draw from their per-request
+        streams.  Times the sampler and splits the greedy/sampled token
+        counts into the report.
+        """
+        configs = [self._sampling_of(seq.request) for seq in seqs]
+        request_ids = [seq.request.request_id for seq in seqs]
+        t0 = time.perf_counter()
+        tokens = self.engine.sampler.sample(logits, configs, request_ids)
+        self.report.sampler_seconds += time.perf_counter() - t0
+        n_greedy = sum(1 for c in configs if c.temperature == 0.0)
+        self.report.greedy_tokens += n_greedy
+        self.report.sampled_tokens += len(configs) - n_greedy
+        return tokens
+
+    def _emit_token(
+        self, seq: _ActiveSequence, token_id: int, emit_time: float,
+        finished: List[Completion],
+    ) -> bool:
+        """Record one sampled token; False when it finished the sequence.
+
+        The single emission path for prefill-sampled first tokens and
+        decode-step tokens alike: the per-request stop-id check (a stop
+        token is never emitted), the first-token/inter-token telemetry
+        stamps, the streaming ``on_token`` callback, and completion on
+        budget exhaustion.
+        """
+        request = seq.request
+        if request.stop_ids and token_id in request.stop_ids:
+            finished.append(self._complete(seq))
+            return False
+        seq.generated_ids.append(token_id)
+        if seq.first_token_step < 0:
+            seq.first_token_step = self.step_count
+        seq.emit_times.append(emit_time)
+        self.report.tokens_generated += 1
+        if self.on_token is not None:
+            self.on_token(request.request_id, token_id, self.step_count)
+        if seq.wants_more():
+            return True
+        finished.append(self._complete(seq))
+        return False
 
     def _complete(self, seq: _ActiveSequence) -> Completion:
+        self.engine.sampler.drop_stream(seq.request.request_id)
         self.engine.release_slot(seq.slot)
         # Retirement is the moment pages get parked; sample here so the
         # cached-page peak sees a burst's tail, not just decode ticks.
@@ -711,19 +796,8 @@ class ContinuousBatchingScheduler:
         self._sample_page_peaks()
         if seq.generated_ids:
             return True
-        first = self._greedy(logits)
-        request = seq.request
-        if request.stop_ids and first in request.stop_ids:
-            finished.append(self._complete(seq))
-            return False
-        seq.generated_ids.append(first)
-        seq.first_token_step = self.step_count
-        seq.emit_times.append(time.perf_counter())
-        self.report.tokens_generated += 1
-        if seq.wants_more():
-            return True
-        finished.append(self._complete(seq))
-        return False
+        first = int(self._sample_tokens([seq], logits[None, :])[0])
+        return self._emit_token(seq, first, time.perf_counter(), finished)
 
     def _replay_tokens(self, seq: _ActiveSequence, tokens) -> None:
         """Re-feed already-emitted tokens through the *decode* path.
@@ -796,7 +870,11 @@ class ContinuousBatchingScheduler:
         positions carry decode-path K/V that must never be shared or
         revived through prompt hashing.  The request itself goes back to
         the queue via the caller; emitted tokens and latency telemetry
-        survive in ``_resume_state``.
+        survive in ``_resume_state``.  The request's sampler RNG stream
+        is deliberately **kept**: restoration replays recorded tokens
+        without sampling, so on resume the stream sits exactly one draw
+        past each emitted token -- eviction never changes what a seeded
+        request generates.
         """
         self.active.remove(seq)
         parked = seq.request.prompt_ids[:seq.slot.length]
@@ -926,6 +1004,23 @@ class ContinuousBatchingScheduler:
             self.report.attn_padded_positions = \
                 attn.padded_positions - base[3]
 
+        next_tokens = self._sample_tokens(decoding, logits)
+        self._commit_tokens(next_tokens, t_emit, finished)
+        self._finalise_skip_telemetry()
+        return finished
+
+    def _commit_tokens(
+        self, next_tokens: np.ndarray, emit_time: float,
+        finished: List[Completion],
+    ) -> None:
+        """Book-keep one decode tick's sampled tokens (no model compute).
+
+        ``next_tokens[row]`` pairs with the ``row``-th non-restoring
+        sequence in admission order -- the same order :meth:`step` built
+        the decode batch in.  The per-sequence loop here is pure O(1)
+        bookkeeping (emit/stop/retire); the model compute (decode
+        forward, batched sampling) already ran vectorised.
+        """
         still_active: List[_ActiveSequence] = []
         row = 0
         for seq in self.active:
@@ -935,24 +1030,11 @@ class ContinuousBatchingScheduler:
                 still_active.append(seq)
                 continue
             seq.decode_steps += 1
-            nxt = self._greedy(logits[row])
+            nxt = int(next_tokens[row])
             row += 1
-            stop = seq.request.stop_ids
-            if stop and nxt in stop:
-                finished.append(self._complete(seq))
-                continue
-            seq.generated_ids.append(nxt)
-            if seq.first_token_step < 0:
-                seq.first_token_step = self.step_count
-            seq.emit_times.append(t_emit)
-            self.report.tokens_generated += 1
-            if seq.wants_more():
+            if self._emit_token(seq, nxt, emit_time, finished):
                 still_active.append(seq)
-            else:
-                finished.append(self._complete(seq))
         self.active = still_active
-        self._finalise_skip_telemetry()
-        return finished
 
     def _finalise_skip_telemetry(self) -> None:
         """Fill the report's realised-vs-analytical skip fields.

@@ -690,8 +690,13 @@ class TestServeReportTelemetryContract:
         assert report.replay_seconds > 0.0
         assert report.wall_seconds == pytest.approx(
             report.prefill_seconds + report.decode_seconds
-            + report.replay_seconds
+            + report.replay_seconds + report.sampler_seconds
         )
+        # Sampling split: a greedy workload emits only greedy tokens,
+        # but the sampler still runs (and is timed) every tick.
+        assert report.greedy_tokens == report.tokens_generated
+        assert report.sampled_tokens == 0
+        assert report.sampler_seconds > 0.0
         assert report.decode_tokens_per_second == pytest.approx(
             report.tokens_generated / report.decode_seconds
         )
