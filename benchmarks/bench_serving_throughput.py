@@ -12,7 +12,8 @@ or:   pytest benchmarks/bench_serving_throughput.py -q -p no:cacheprovider
 Expected shape of the result: batch=1 serving matches the sequential
 engine (same tokens, slight scheduler overhead), larger batches trade
 per-sequence sparsity (the intersection decays toward zero) for
-weight-read amortisation, with batch 4 at least 2x sequential throughput.
+weight-read amortisation, with batch 8 about 2.5x sequential throughput
+(batch 4 about 1.75x) against the all-float32 sequential baseline.
 """
 
 import json
@@ -123,9 +124,17 @@ def check_sweep(baseline, points, analytic) -> None:
         if point.mean_batch_occupancy >= 1.5:
             assert point.intersection_skip < baseline.sequence_skip
         assert abs(point.intersection_skip - expected) < 0.15
-    # Throughput: batching beats sequential decode by >= 2x at batch 4.
-    assert by_batch[4].speedup_over(baseline) >= 2.0, (
-        f"batch-4 speedup {by_batch[4].speedup_over(baseline):.2f}x < 2x"
+    # Throughput: batching beats sequential decode.  The sequential
+    # baseline used to run its post-attention residual (and so every
+    # MLP GEMM) in float64 -- promoted by a float64 attention scale --
+    # which inflated batched speedups; against the fixed float32
+    # baseline batch 4 lands ~1.75x and batch 8 ~2.5x, gated with
+    # headroom for machine-load wobble (observed swings past 20%).
+    assert by_batch[4].speedup_over(baseline) >= 1.2, (
+        f"batch-4 speedup {by_batch[4].speedup_over(baseline):.2f}x < 1.2x"
+    )
+    assert by_batch[8].speedup_over(baseline) >= 1.7, (
+        f"batch-8 speedup {by_batch[8].speedup_over(baseline):.2f}x < 1.7x"
     )
 
 
@@ -179,7 +188,7 @@ def main() -> int:
     print(text)
     check_sweep(baseline, points, analytic)
     print("\nall serving-throughput checks passed "
-          "(batch-4 speedup >= 2x, intersection tracks skip^B)")
+          "(batch-4 >= 1.2x, batch-8 >= 1.7x, intersection tracks skip^B)")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "serving_throughput.txt").write_text(text + "\n")
     path = write_json(baseline, points, analytic)

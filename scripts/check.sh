@@ -17,7 +17,8 @@ if [ "$#" -eq 0 ]; then
     PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q \
         tests/test_serving.py tests/test_paged_kv.py \
         tests/test_paged_properties.py tests/test_scheduler_properties.py \
-        tests/test_batched_sampling.py tests/test_analysis.py
+        tests/test_batched_sampling.py tests/test_speculative.py \
+        tests/test_analysis.py
     # Invariant linter (rule catalog: docs/analysis.md).  Subsumes the
     # old docs-freshness heredoc: the docs-knobs rule fails the gate if
     # an engine/scheduler knob is missing from docs/serving.md, and the
@@ -31,15 +32,17 @@ fi
 # concurrency from forked admission, intersection decays slower than
 # skip^B), the prefix-cache benchmark (>= 50% of prompt tokens revived
 # on bursty non-overlapping traffic, tokens identical to cold prefill),
-# the batched-attention benchmark (decode-step win at batch >= 4,
+# the batched-attention benchmark (best-point decode-step win,
 # >= 2x chunked-prefill win, tokens identical), the
 # interleaved-prefill benchmark (budgeted ticks bound the worst tick
 # feed to step_budget and shave the residents' max inter-token stall,
 # tokens identical to inline prefill), and the batched-sampling
 # benchmark (one vectorised sampler call beats the per-row scalar loop
 # at batch >= 4, draws identical, serving tokens invariant to batch
-# composition; JSON into benchmarks/results/); opt in because they
-# decode real workloads.
+# composition), and the speculative-decoding benchmark (draft_alpha x k
+# sweep, tokens identical to speculation=None at every point, best
+# point >= 1.3x decode wall-clock; JSON into benchmarks/results/); opt
+# in because they decode real workloads.
 if [ "${CHECK_SLOW:-0}" = "1" ]; then
     PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q \
         -m slow -p no:cacheprovider benchmarks/bench_paged_kv.py \
@@ -47,5 +50,6 @@ if [ "${CHECK_SLOW:-0}" = "1" ]; then
         benchmarks/bench_prefix_cache.py \
         benchmarks/bench_batched_attention.py \
         benchmarks/bench_interleaved_prefill.py \
-        benchmarks/bench_batched_sampling.py
+        benchmarks/bench_batched_sampling.py \
+        benchmarks/bench_speculative.py
 fi

@@ -38,6 +38,25 @@ HOT_FUNCTIONS: Dict[Tuple[str, str], FrozenSet[str]] = {
         frozenset({"prompt_ids"}),
     ("src/repro/serving/engine.py", "BatchedEngine._forward_chunk"):
         frozenset({"token_ids", "n_tokens"}),
+    # Speculative self-drafting (PR 9): the shared decode body, the
+    # aggressive-alpha draft step, the chunked verify pass, and the
+    # scheduler's draft/verify driver must all stay batched -- a `for`
+    # statement over these identifiers would mean per-sequence model
+    # compute crept back into the speculation hot path.  KV rollback
+    # (`truncate`) is page-table bookkeeping; looping it per position
+    # or per dropped page with real work would defeat its O(pages)
+    # contract.
+    ("src/repro/serving/engine.py", "BatchedEngine._forward_batch"):
+        frozenset({"slots", "token_ids"}),
+    ("src/repro/serving/engine.py", "BatchedEngine.draft_step"):
+        frozenset({"slots", "token_ids"}),
+    ("src/repro/serving/engine.py", "BatchedEngine.verify_chunk"):
+        frozenset({"token_ids"}),
+    ("src/repro/serving/scheduler.py",
+     "ContinuousBatchingScheduler._speculate"):
+        frozenset({"drafters"}),
+    ("src/repro/model/paged_kvcache.py", "PagedKVSlot.truncate"):
+        frozenset({"dropped", "self.page_table"}),
     ("src/repro/serving/scheduler.py",
      "ContinuousBatchingScheduler.step"):
         frozenset({"self.active", "decoding", "slots"}),

@@ -104,6 +104,7 @@ def build_batched_engine(
     attn_bucket_min_fill: float = 0.5,
     prefill_chunk: int = 0,
     sampling=None,
+    speculation=None,
 ):
     """A serving-grade batched SparseInfer engine.
 
@@ -126,7 +127,10 @@ def build_batched_engine(
     ``sampling`` sets the engine-default
     :class:`~repro.model.sampler.SamplerConfig` for requests that carry
     no per-request config (``None`` = greedy argmax, the pre-sampling
-    behaviour).  Returns
+    behaviour), and ``speculation`` the engine-default
+    :class:`~repro.serving.speculative.SpecConfig` for speculative
+    self-drafting (``None`` = plain decode; the scheduler can still
+    enable speculation on its own).  Returns
     a :class:`repro.serving.engine.BatchedEngine`: per-sequence KV
     slots, dense per-sequence prefill, batched sparse decode exploiting
     the cross-sequence intersection of predicted skip sets (imported
@@ -149,4 +153,5 @@ def build_batched_engine(
         attn_bucket_min_fill=attn_bucket_min_fill,
         prefill_chunk=prefill_chunk,
         sampling=sampling,
+        speculation=speculation,
     )

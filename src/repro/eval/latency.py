@@ -213,6 +213,14 @@ class ServingMeasurement:
     greedy_tokens: int = 0
     sampled_tokens: int = 0
     sampler_seconds: float = 0.0
+    # Speculation telemetry (engine/scheduler speculation knob): drafts
+    # fed to verification, the subset accepted, and the wall time each
+    # speculation phase spent (ServeReport.drafted_tokens /
+    # accepted_tokens / draft_seconds / verify_seconds).
+    drafted_tokens: int = 0
+    accepted_tokens: int = 0
+    draft_seconds: float = 0.0
+    verify_seconds: float = 0.0
     ttft_p50_seconds: float = 0.0
     ttft_p99_seconds: float = 0.0
     itl_p50_seconds: float = 0.0
@@ -222,7 +230,14 @@ class ServingMeasurement:
     @property
     def wall_seconds(self) -> float:
         return (self.prefill_seconds + self.decode_seconds
-                + self.replay_seconds + self.sampler_seconds)
+                + self.replay_seconds + self.sampler_seconds
+                + self.draft_seconds + self.verify_seconds)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of drafted tokens the verify pass accepted."""
+        return (self.accepted_tokens / self.drafted_tokens
+                if self.drafted_tokens else 0.0)
 
     @property
     def tokens_per_second(self) -> float:
@@ -254,6 +269,7 @@ def measure_batched_serving(
     step_budget: int = 0,
     preemption: bool = False,
     sampling=None,
+    speculation=None,
 ) -> ServingMeasurement:
     """Drain ``requests`` through a batched engine and measure throughput.
 
@@ -265,7 +281,9 @@ def measure_batched_serving(
     admission), ``step_budget`` (per-tick prefill piggybacking) and
     ``preemption`` (priority eviction) knobs.  ``sampling`` sets the
     engine-default :class:`repro.model.sampler.SamplerConfig` for
-    requests without their own (None = greedy argmax).
+    requests without their own (None = greedy argmax), and
+    ``speculation`` a :class:`repro.serving.SpecConfig` enabling
+    speculative self-drafting (None = plain decode).
     """
     from ..core.engine import build_batched_engine
     from ..serving.scheduler import ContinuousBatchingScheduler
@@ -279,6 +297,7 @@ def measure_batched_serving(
         attn_bucket_min_fill=attn_bucket_min_fill,
         prefill_chunk=prefill_chunk,
         sampling=sampling,
+        speculation=speculation,
     )
     scheduler = ContinuousBatchingScheduler(
         engine, reorder_window=reorder_window,
@@ -303,6 +322,8 @@ def measure_batched_serving(
         label += "+preempt"
     if sampling is not None and sampling.temperature > 0:
         label += f"+sampled(T={sampling.temperature:g})"
+    if speculation is not None:
+        label += f"+spec(a={speculation.draft_alpha:g},k={speculation.k})"
     return ServingMeasurement(
         label=label,
         max_batch_size=max_batch_size,
@@ -335,6 +356,10 @@ def measure_batched_serving(
         greedy_tokens=report.greedy_tokens,
         sampled_tokens=report.sampled_tokens,
         sampler_seconds=report.sampler_seconds,
+        drafted_tokens=report.drafted_tokens,
+        accepted_tokens=report.accepted_tokens,
+        draft_seconds=report.draft_seconds,
+        verify_seconds=report.verify_seconds,
         ttft_p50_seconds=report.ttft_seconds_percentile(50),
         ttft_p99_seconds=report.ttft_seconds_percentile(99),
         itl_p50_seconds=report.itl_seconds_percentile(50),

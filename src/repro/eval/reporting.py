@@ -121,6 +121,37 @@ def format_sampling(points) -> str:
     return markdown_table(headers, rows)
 
 
+def format_speculation(points) -> str:
+    """Render per-configuration speculation telemetry (PR 9).
+
+    ``points`` are :class:`repro.eval.latency.ServingMeasurement`
+    objects.  ``drafted_tokens`` / ``accepted_tokens`` count the
+    aggressive-alpha draft proposals and the subset the chunked verify
+    pass confirmed (``acceptance_rate`` is their ratio);
+    ``draft_seconds`` and ``verify_seconds`` are the wall-clock the two
+    speculation phases spent.  The interesting read is tokens per
+    decode step against acceptance: speculation only beats plain decode
+    while accepted drafts outweigh the draft+verify overhead.
+    """
+    headers = ["engine", "drafted", "accepted", "accept rate",
+               "draft (ms)", "verify (ms)", "tok/step", "tok/s"]
+    rows = []
+    for point in points:
+        per_step = (point.tokens_generated / point.decode_steps
+                    if point.decode_steps else 0.0)
+        rows.append([
+            point.label,
+            str(point.drafted_tokens),
+            str(point.accepted_tokens),
+            f"{point.acceptance_rate:.1%}",
+            f"{point.draft_seconds * 1e3:.2f}",
+            f"{point.verify_seconds * 1e3:.2f}",
+            f"{per_step:.2f}",
+            f"{point.tokens_per_second:.1f}",
+        ])
+    return markdown_table(headers, rows)
+
+
 def format_tail_latency(points) -> str:
     """Render per-configuration tail latency (budgeted-tick telemetry).
 

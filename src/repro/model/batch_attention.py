@@ -228,7 +228,7 @@ class StepPlan:
         # of large per-layer temporaries.
         np.matmul(kh, qr[..., None], out=bucket.scores)
         scores = bucket.scores[..., 0]                    # (B, h, l_max)
-        scores /= np.sqrt(head_dim)
+        scores /= np.float32(np.sqrt(head_dim))  # float32 scale, see inference.py
         scores += bucket.neg_mask       # -inf past each row's length
         scores -= scores.max(axis=-1, keepdims=True)
         np.exp(scores, out=scores)      # exp(-inf) == 0: padded rows exact

@@ -59,7 +59,10 @@ def attend_single(
     keys, values = cache.view(layer, length)               # (len, d)
     kh = keys.reshape(length, n_heads, head_dim).transpose(1, 0, 2)
     vh = values.reshape(length, n_heads, head_dim).transpose(1, 0, 2)
-    scores = np.einsum("hd,htd->ht", q, kh) / np.sqrt(head_dim)
+    # float32 scale: a float64 np.sqrt scalar would promote scores --
+    # and the residual stream after it -- to float64, silently doubling
+    # every downstream GEMM's work (NEP 50 keeps numpy-scalar dtypes).
+    scores = np.einsum("hd,htd->ht", q, kh) / np.float32(np.sqrt(head_dim))
     scores -= scores.max(axis=-1, keepdims=True)
     probs = np.exp(scores)
     probs /= probs.sum(axis=-1, keepdims=True)

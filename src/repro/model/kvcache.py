@@ -92,6 +92,20 @@ class KVSlot:
         if self.length > self.max_seq_len:
             raise ValueError("KV slot overflow")
 
+    def truncate(self, n_positions: int) -> None:
+        """Roll the slot back to ``n_positions`` filled positions.
+
+        Speculative decoding appends draft-quality K/V past the committed
+        length and rewinds on rejection.  Fixed slots keep their arena
+        contents; re-appending simply overwrites the stale tail.
+        """
+        if not 0 <= n_positions <= self.length:
+            raise ValueError(
+                f"cannot truncate slot of length {self.length} "
+                f"to {n_positions}"
+            )
+        self.length = n_positions
+
     def reset(self) -> None:
         self.length = 0
 

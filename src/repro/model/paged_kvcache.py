@@ -598,6 +598,39 @@ class PagedKVSlot:
         if self.length > self.max_seq_len:
             raise ValueError("KV slot overflow")
 
+    def truncate(self, n_positions: int) -> None:
+        """Roll the slot back to ``n_positions``, returning tail pages.
+
+        Speculative decoding appends draft-quality K/V past the committed
+        length and rewinds rejected positions.  Pages past
+        ``pages_for(n_positions)`` drop one reference each -- a page a
+        sharer still maps survives untouched (its refcount just
+        decrements), so truncate can never free a forked sibling's
+        prefix.  Pages that *do* come free are re-credited to this
+        slot's reservation: the worst case the scheduler admitted
+        against still covers the rewound positions, so the slot must be
+        able to re-claim them without competing with other admissions.
+        """
+        if not 0 <= n_positions <= self.length:
+            raise ValueError(
+                f"cannot truncate slot of length {self.length} "
+                f"to {n_positions}"
+            )
+        keep = self._pool.pages_for(n_positions)
+        dropped = self.page_table[keep:]
+        if dropped:
+            free_before = self._pool.n_free_pages
+            self._pool._release_pages(dropped)
+            freed = self._pool.n_free_pages - free_before
+            del self.page_table[keep:]
+            if freed:
+                # The pages just joined the free list, so the reserve
+                # cannot fail; the credit keeps admission math exact.
+                self._pool._reserve(freed)
+                self._reservation_left += freed
+            self.generation += 1
+        self.length = n_positions
+
     def reset(self) -> None:
         """Return every page (and any unused reservation) to the pool."""
         if self.page_table:

@@ -50,6 +50,12 @@ Pieces:
   in an LRU :class:`~repro.model.paged_kvcache.PrefixCache` and revived
   by later admissions (lookup order: resident fork -> cache revive ->
   cold prefill).
+* :mod:`repro.serving.speculative` -- :class:`SpecConfig`: speculative
+  self-drafting (``speculation=...`` on engine and scheduler).  The
+  sparse path at an aggressive alpha drafts ``k`` tokens per tick, one
+  chunked causal GEMM verifies ``k + 1`` positions at the serving
+  alpha, rejected draft K/V is rolled back with ``truncate`` -- output
+  stays token-identical to non-speculative serving by construction.
 
 ``docs/serving.md`` walks the whole pipeline and tabulates every engine
 knob and every ``ServeReport`` telemetry field.
@@ -61,6 +67,7 @@ from .engine import BatchedEngine, PrefixIndex
 from .queue import EmptyQueueError, RequestQueue
 from .request import Completion, Request
 from .scheduler import ContinuousBatchingScheduler, ServeReport
+from .speculative import SpecConfig
 
 __all__ = [
     "BatchedEngine",
@@ -76,4 +83,5 @@ __all__ = [
     "Sampler",
     "SamplerConfig",
     "ServeReport",
+    "SpecConfig",
 ]

@@ -47,6 +47,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..core.alpha import AlphaSchedule
 from ..core.engine import SparseInferSettings
 from ..core.predictor import SparseInferPredictor
 from ..model.batch_attention import (
@@ -67,6 +68,7 @@ from ..model.rope import apply_rope, rope_for_position, rope_tables
 from ..model.sampler import BatchedSampler, SamplerConfig
 from ..model.weights import ModelWeights
 from .batch_mlp import BatchedSparseInferMLP
+from .speculative import SpecConfig
 
 
 class PrefixIndex:
@@ -232,6 +234,16 @@ class BatchedEngine:
         :class:`~repro.model.sampler.BatchedSampler` either way; it
         consumes the stacked decode logits in one vectorised pass and
         draws stochastic rows from per-request RNG streams.
+    speculation:
+        Default :class:`~repro.serving.speculative.SpecConfig` for
+        speculative self-drafting.  The engine itself only stores it
+        (and sizes nothing differently); the scheduler reads it as the
+        default when its own ``speculation`` argument is None.  Draft
+        and verify executors are built lazily per draft alpha
+        (:meth:`draft_step` / :meth:`verify_chunk`), so an engine built
+        without this knob still serves a scheduler-side ``SpecConfig``.
+        ``None`` (the default) keeps the engine bit-identical to
+        pre-speculation builds.
     """
 
     def __init__(
@@ -250,6 +262,7 @@ class BatchedEngine:
         attn_bucket_min_fill: float = DEFAULT_BUCKET_MIN_FILL,
         prefill_chunk: int = 0,
         sampling: Optional[SamplerConfig] = None,
+        speculation: Optional[SpecConfig] = None,
     ):
         weights.validate()
         self.weights = weights
@@ -300,6 +313,14 @@ class BatchedEngine:
         self.prefill_chunk = prefill_chunk
         self.sampling = sampling if sampling is not None else SamplerConfig()
         self.sampler = BatchedSampler(self.sampling)
+        self.speculation = speculation
+        # Speculation executors, built on demand: one sparse draft
+        # executor per aggressive alpha, one verify executor at the
+        # serving alpha.  Separate instances keep ``self.sparse.stats``
+        # (the skip-intersection telemetry the scheduler reports)
+        # strictly about committed decode steps.
+        self._draft_mlps: dict = {}
+        self._verify_view = None
         self.batched_attention = batched_attention
         self.attention = BatchedAttention(
             self.config, bucket_min_fill=attn_bucket_min_fill
@@ -478,16 +499,22 @@ class BatchedEngine:
             logits = self._forward_single(int(tok), slot, self.prefill_mlp)
         return logits
 
-    def _forward_chunk(self, token_ids: list, slot: KVSlot) -> np.ndarray:
-        """One causal ``(T, d)`` pass over a prompt chunk.
+    def _forward_chunk(self, token_ids: list, slot: KVSlot,
+                       mlp: Optional[MLPExecutor] = None,
+                       return_all: bool = False) -> np.ndarray:
+        """One causal ``(T, d)`` pass over a token chunk.
 
         Runs every layer as whole-chunk GEMMs: QKV/output projections
         over the ``(T, d)`` chunk, causal-masked attention of the chunk
         queries against the growing cache (prior positions plus the
         chunk itself), and the chunk-capable MLP executor when the
-        prefill executor provides one (executors without ``run_tokens``
-        fall back to a per-row loop -- the GEMM-heavy attention path
-        still dominates the win).  Returns last-position logits.
+        executor provides one (executors without ``run_tokens`` fall
+        back to a per-row loop -- the GEMM-heavy attention path still
+        dominates the win).  ``mlp`` overrides the prefill executor --
+        :meth:`verify_chunk` passes the serving-alpha sparse executor
+        so decode-phase positions get decode-faithful K/V and hidden
+        states.  Returns last-position logits, or all ``(T, vocab)``
+        rows with ``return_all=True``.
         """
         cfg = self.config
         n_heads, head_dim = cfg.n_heads, cfg.head_dim
@@ -496,7 +523,9 @@ class BatchedEngine:
         total = base + n_tokens
         positions = np.arange(base, total)
         cos, sin = rope_tables(positions, head_dim, cfg.rope_theta)
-        run_tokens = getattr(self.prefill_mlp, "run_tokens", None)
+        if mlp is None:
+            mlp = self.prefill_mlp
+        run_tokens = getattr(mlp, "run_tokens", None)
         x = self.weights.tok_embed[token_ids].astype(np.float32)
         for layer in range(cfg.n_layers):
             lw = self.weights.layers[layer]
@@ -518,7 +547,8 @@ class BatchedEngine:
             keys, values = slot.view(layer, total)       # (L, d)
             ck = keys.reshape(total, n_heads, head_dim).transpose(1, 0, 2)
             cv = values.reshape(total, n_heads, head_dim).transpose(1, 0, 2)
-            scores = np.einsum("hqd,htd->hqt", qh, ck) / np.sqrt(head_dim)
+            scores = np.einsum("hqd,htd->hqt", qh, ck) / np.float32(
+                np.sqrt(head_dim))           # float32 scale, see inference.py
             causal = np.arange(total)[None, :] <= positions[:, None]
             scores = np.where(causal[None, :, :], scores, -np.inf)
             scores -= scores.max(axis=-1, keepdims=True)
@@ -531,11 +561,14 @@ class BatchedEngine:
                 x = x + run_tokens(layer, mlp_in)
             else:
                 x = x + np.stack(
-                    [self.prefill_mlp.run(layer, row) for row in mlp_in]
+                    [mlp.run(layer, row) for row in mlp_in]
                 )
         for _ in range(n_tokens):
             slot.advance()
-        final = rmsnorm(x[-1], self.weights.final_norm, cfg.norm_eps)
+        if return_all:
+            final = rmsnorm(x, self.weights.final_norm, cfg.norm_eps)
+        else:
+            final = rmsnorm(x[-1], self.weights.final_norm, cfg.norm_eps)
         return final @ self.weights.lm_head
 
     def decode_step(
@@ -545,13 +578,26 @@ class BatchedEngine:
 
         ``token_ids[i]`` is fed to ``slots[i]`` at its current length.
         """
+        return self._forward_batch(slots, token_ids, self.sparse)
+
+    def _forward_batch(
+        self, slots: Sequence[KVSlot], token_ids: Sequence[int],
+        sparse: BatchedSparseInferMLP,
+    ) -> np.ndarray:
+        """One batched forward step through ``sparse``; ``(B, vocab)``.
+
+        Shared body of :meth:`decode_step` (the serving-alpha executor)
+        and :meth:`draft_step` (an aggressive-alpha draft executor) --
+        the attention, projection, and advance machinery is identical;
+        only the MLP executor differs.
+        """
         if len(slots) != len(token_ids):
             raise ValueError("slots and token_ids must align")
         if not slots:
             raise ValueError("decode_step needs at least one sequence")
         if len(slots) == 1:
             logits = self._forward_single(
-                int(token_ids[0]), slots[0], self._decode_mlp_single
+                int(token_ids[0]), slots[0], _SingleView(sparse)
             )
             return logits[None, :]
 
@@ -590,7 +636,7 @@ class BatchedEngine:
                     )
             x = x + ctx @ lw.wo
             mlp_in = rmsnorm(x, lw.mlp_norm, cfg.norm_eps)
-            x = x + self.sparse.run_batch(layer, mlp_in)
+            x = x + sparse.run_batch(layer, mlp_in)
         for slot in slots:
             slot.advance()
         final = rmsnorm(x, self.weights.final_norm, cfg.norm_eps)
@@ -601,6 +647,83 @@ class BatchedEngine:
         """Single-sequence view of the batched sparse executor."""
         return _SingleView(self.sparse)
 
+    # -- speculative self-drafting -----------------------------------------
+
+    def _draft_mlp(self, alpha: float) -> BatchedSparseInferMLP:
+        """The (memoized) aggressive-alpha sparse draft executor.
+
+        A second view over the *same* weights and packed predictor --
+        only the per-layer skip threshold changes, so building one costs
+        no model memory and no re-packing.
+        """
+        mlp = self._draft_mlps.get(alpha)
+        if mlp is None:
+            schedule = AlphaSchedule.uniform(alpha, self.config.n_layers)
+            mlp = BatchedSparseInferMLP(
+                weights=self.weights,
+                predictor=self.sparse.predictor.with_schedule(schedule),
+                use_actual_sparsity=self.settings.use_actual_sparsity,
+            )
+            self._draft_mlps[alpha] = mlp
+        return mlp
+
+    def draft_step(
+        self, slots: Sequence[KVSlot], token_ids: Sequence[int],
+        draft_alpha: Optional[float] = None,
+    ) -> np.ndarray:
+        """One *draft* decode step; returns ``(B, vocab)`` logits.
+
+        Identical to :meth:`decode_step` except the MLP runs through
+        the aggressive-alpha sparse executor, so the logits are cheap
+        approximations.  The K/V it appends is draft-quality: callers
+        must :meth:`~repro.model.kvcache.KVSlot.truncate` back before
+        committing anything (the verify pass re-appends exact K/V).
+        ``draft_alpha`` defaults to the engine's
+        ``speculation.draft_alpha``.
+        """
+        if draft_alpha is None:
+            if self.speculation is None:
+                raise ValueError(
+                    "draft_step needs draft_alpha (engine built without "
+                    "a speculation config)"
+                )
+            draft_alpha = self.speculation.draft_alpha
+        return self._forward_batch(
+            slots, token_ids, self._draft_mlp(draft_alpha)
+        )
+
+    def verify_chunk(
+        self, slot: KVSlot, token_ids: Sequence[int]
+    ) -> np.ndarray:
+        """Verify a committed token plus drafts in one causal GEMM pass.
+
+        ``token_ids`` is ``[committed_token, draft_1, ..., draft_k]``;
+        the slot must be rewound to the committed length first.  Runs
+        the chunked-prefill machinery with the **serving-alpha** sparse
+        executor (per-row skip masks keep every row decode-faithful),
+        so accepted positions leave behind exactly the K/V a decode
+        step would have appended -- up to GEMM rounding, the chunked
+        prefill equivalence.  Returns all ``(k + 1, vocab)`` logit
+        rows: row ``i`` is the serving engine's prediction *after*
+        chunk token ``i``.
+        """
+        if self._verify_view is None:
+            # gather_threshold=1.0: a verify chunk is a handful of
+            # highly correlated rows, so the row-gather strategy's
+            # submatrix copies (3 fancy-indexed weight reads per layer)
+            # cost more than the thin dense GEMM they would avoid --
+            # always take run_batch's dense re-zero path instead.
+            self._verify_view = _ChunkView(BatchedSparseInferMLP(
+                weights=self.weights,
+                predictor=self.sparse.predictor,
+                use_actual_sparsity=self.settings.use_actual_sparsity,
+                gather_threshold=1.0,
+            ))
+        return self._forward_chunk(
+            [int(tok) for tok in token_ids], slot,
+            mlp=self._verify_view, return_all=True,
+        )
+
 
 class _SingleView:
     """Adapts :class:`BatchedSparseInferMLP` to the 1-D executor protocol."""
@@ -610,3 +733,23 @@ class _SingleView:
 
     def run(self, layer: int, x: np.ndarray) -> np.ndarray:
         return self._batched.run_batch(layer, x[None, :])[0]
+
+
+class _ChunkView:
+    """Adapts :class:`BatchedSparseInferMLP` to the chunk executor protocol.
+
+    ``run_batch`` re-zeroes each row by its own predicted skip mask, so
+    feeding a verify chunk's ``(T, d)`` rows through it keeps every
+    row's values decode-faithful while the up/down projections run as
+    one GEMM over the union of kept rows -- exactly the verifier shape
+    speculation needs.
+    """
+
+    def __init__(self, batched: BatchedSparseInferMLP):
+        self._batched = batched
+
+    def run(self, layer: int, x: np.ndarray) -> np.ndarray:
+        return self._batched.run_batch(layer, x[None, :])[0]
+
+    def run_tokens(self, layer: int, xs: np.ndarray) -> np.ndarray:
+        return self._batched.run_batch(layer, xs)

@@ -84,6 +84,25 @@ are kept, never resampled.  Equal priorities never preempt each other,
 which rules out eviction ping-pong; every preemption chain strictly
 descends in priority, so it is finite.
 
+**Speculative self-drafting.**  With ``speculation=SpecConfig(...)``
+(scheduler knob, falling back to the engine's), each decoding sequence
+with draft budget spends its tick on a draft/verify/rollback cycle
+instead of one decode step: up to ``spec_k`` cheap draft steps through
+the aggressive-alpha sparse executor propose tokens (argmax of the
+draft logits -- per-request sampler streams never see draft logits),
+the slot is rewound, and one chunked causal GEMM at the serving alpha
+verifies all proposals plus a bonus token.  Targets are drawn from the
+per-request stream against the *verifier's* logits in the plain decode
+draw order, the longest matching draft prefix is accepted (plus the
+one corrected or bonus token), and the slot is truncated to exactly
+the emitted tokens -- so output is token-identical to
+``speculation=None`` across every cache/batching knob, and a
+high-acceptance workload emits several tokens per tick.  Drafted
+positions stay strictly inside the worst case reserved at admission,
+so the no-mid-decode-starvation guarantee is untouched; with
+``adaptive=True`` a per-sequence acceptance-rate EMA moves ``spec_k``
+between 1 and ``k``.
+
 The admission loop drains the queue by catching the typed
 :class:`~repro.serving.queue.EmptyQueueError` only -- a bare
 ``IndexError`` escaping from admission bookkeeping is a bug and must
@@ -101,6 +120,7 @@ import numpy as np
 from .engine import BatchedEngine
 from .queue import EmptyQueueError, RequestQueue
 from .request import Completion, Request
+from .speculative import SpecConfig
 
 
 @dataclass
@@ -116,6 +136,13 @@ class _ActiveSequence:
     batch.  ``emit_times`` records one wall-clock stamp per emitted
     token (TTFT / inter-token gaps); ``preemptions`` counts evictions
     survived so far.
+
+    Speculation state: ``spec_k`` is this sequence's current draft
+    depth (0 = never drafts; set to the config's ``k`` at admission
+    when speculation is on), ``spec_ema`` its rolling acceptance-rate
+    EMA -- an adaptive config moves ``spec_k`` between 1 and the
+    config ceiling as the EMA crosses the thresholds.  Both survive
+    preemption.
     """
 
     request: Request
@@ -128,6 +155,8 @@ class _ActiveSequence:
     preemptions: int = 0
     first_token_step: int = -1
     emit_times: list = field(default_factory=list)
+    spec_k: int = 0
+    spec_ema: float = 1.0
 
     @property
     def last_token(self) -> int:
@@ -195,6 +224,15 @@ class ServeReport:
     turning stacked logits into token ids (part of
     :attr:`wall_seconds`).  ``greedy_tokens + sampled_tokens ==
     tokens_generated`` always holds.
+
+    Speculation telemetry (PR 9, scheduler runs ``speculation=...``):
+    ``drafted_tokens`` counts draft proposals fed through the
+    aggressive-alpha executor, ``accepted_tokens`` those the verify
+    pass confirmed (:attr:`acceptance_rate` is their ratio; the extra
+    emitted token per verify -- the corrected or bonus one -- is
+    counted in neither), and ``draft_seconds`` / ``verify_seconds``
+    the wall time in the draft steps and the chunked verify passes
+    (both part of :attr:`wall_seconds`).
     """
 
     completions: List[Completion] = field(default_factory=list)
@@ -239,11 +277,22 @@ class ServeReport:
     greedy_tokens: int = 0             # tokens emitted by batched argmax
     sampled_tokens: int = 0            # tokens drawn from request RNG streams
     sampler_seconds: float = 0.0       # wall time in the vectorised sampler
+    drafted_tokens: int = 0            # draft proposals fed to verification
+    accepted_tokens: int = 0           # drafts the verify pass confirmed
+    draft_seconds: float = 0.0         # wall time in aggressive-alpha drafting
+    verify_seconds: float = 0.0        # wall time in chunked verify passes
 
     @property
     def wall_seconds(self) -> float:
         return (self.prefill_seconds + self.decode_seconds
-                + self.replay_seconds + self.sampler_seconds)
+                + self.replay_seconds + self.sampler_seconds
+                + self.draft_seconds + self.verify_seconds)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of drafted tokens the verify pass accepted."""
+        return (self.accepted_tokens / self.drafted_tokens
+                if self.drafted_tokens else 0.0)
 
     @property
     def mean_batch_occupancy(self) -> float:
@@ -391,6 +440,18 @@ class ContinuousBatchingScheduler:
     reported (they are never emitted), and a resumed sequence's replayed
     tokens are not re-reported.  The callback runs synchronously inside
     the tick; an exception it raises propagates out of :meth:`step`.
+
+    ``speculation`` enables speculative self-drafting: each decoding
+    sequence with draft budget runs up to ``spec_k`` cheap
+    aggressive-alpha draft steps per tick, one chunked causal GEMM
+    verifies all drafts plus the bonus token at the serving alpha, and
+    rejected draft K/V is rolled back with ``truncate``.  Accepted
+    tokens are re-drawn from the per-request sampler stream against the
+    *verifier's* logits (greedy rows compare argmax), so output is
+    token-identical to ``speculation=None``.  ``None`` (the default)
+    falls back to the engine's own ``speculation`` knob; drafted
+    positions never exceed the worst case already reserved at
+    admission, so page math is unchanged.
     """
 
     def __init__(
@@ -402,6 +463,7 @@ class ContinuousBatchingScheduler:
         step_budget: int = 0,
         preemption: bool = False,
         on_token=None,
+        speculation: Optional[SpecConfig] = None,
     ):
         if reorder_window < 0:
             raise ValueError(
@@ -424,6 +486,10 @@ class ContinuousBatchingScheduler:
         self.reorder_window = reorder_window
         self.step_budget = step_budget
         self.preemption = bool(preemption)
+        self.speculation = (
+            speculation if speculation is not None
+            else getattr(engine, "speculation", None)
+        )
         self.active: List[_ActiveSequence] = []
         self.step_count = 0
         self._head_skips = 0       # consecutive admissions that bypassed head
@@ -730,6 +796,8 @@ class ContinuousBatchingScheduler:
                 request=request, slot=slot, generated_ids=[],
                 admitted_step=self.step_count,
             )
+            if self.speculation is not None:
+                seq.spec_k = self.speculation.k
             resume = self._resume_state.pop(request.request_id, None)
             if resume is not None:
                 # Restoring an evictee: keep every already-emitted token
@@ -740,6 +808,8 @@ class ContinuousBatchingScheduler:
                 seq.preemptions = resume["preemptions"]
                 seq.first_token_step = resume["first_token_step"]
                 seq.emit_times = list(resume["emit_times"])
+                seq.spec_k = resume.get("spec_k", seq.spec_k)
+                seq.spec_ema = resume.get("spec_ema", seq.spec_ema)
                 self.report.resumed_admissions += 1
             # The last emitted token is never replayed: the next decode
             # tick feeds it, exactly as it would have without eviction.
@@ -887,6 +957,8 @@ class ContinuousBatchingScheduler:
             "preemptions": seq.preemptions + 1,
             "first_token_step": seq.first_token_step,
             "emit_times": list(seq.emit_times),
+            "spec_k": seq.spec_k,
+            "spec_ema": seq.spec_ema,
         }
         self.report.preemptions += 1
 
@@ -970,12 +1042,27 @@ class ContinuousBatchingScheduler:
             self._finalise_skip_telemetry()
             return finished
 
-        slots = [seq.slot for seq in decoding]
-        tokens = [seq.last_token for seq in decoding]
-        t0 = time.perf_counter()
-        logits = self.engine.decode_step(slots, tokens)
+        # Partition the decode batch: sequences with draft budget run
+        # the speculative draft/verify path; everything else takes the
+        # plain batched decode step.  Comprehension-built, same
+        # admission order as self.active.
+        spec = self.speculation
+        drafters = [
+            seq for seq in decoding
+            if spec is not None and self._spec_depth(seq) >= 1
+        ]
+        drafter_ids = {id(seq) for seq in drafters}
+        plain = [seq for seq in decoding if id(seq) not in drafter_ids]
+
         t_emit = time.perf_counter()
-        self.report.decode_seconds += t_emit - t0
+        logits = None
+        if plain:
+            slots = [seq.slot for seq in plain]
+            tokens = [seq.last_token for seq in plain]
+            t0 = time.perf_counter()
+            logits = self.engine.decode_step(slots, tokens)
+            t_emit = time.perf_counter()
+            self.report.decode_seconds += t_emit - t0
         self.report.decode_steps += 1
         self.report.occupancy_sum += len(decoding)
         self.report.peak_occupancy = max(
@@ -1004,37 +1091,134 @@ class ContinuousBatchingScheduler:
             self.report.attn_padded_positions = \
                 attn.padded_positions - base[3]
 
-        next_tokens = self._sample_tokens(decoding, logits)
-        self._commit_tokens(next_tokens, t_emit, finished)
+        if plain:
+            next_tokens = self._sample_tokens(plain, logits)
+            self._commit_tokens(plain, next_tokens, t_emit, finished)
+        if drafters:
+            self._speculate(drafters, finished)
         self._finalise_skip_telemetry()
         return finished
 
     def _commit_tokens(
-        self, next_tokens: np.ndarray, emit_time: float,
+        self, seqs, next_tokens: np.ndarray, emit_time: float,
         finished: List[Completion],
     ) -> None:
         """Book-keep one decode tick's sampled tokens (no model compute).
 
-        ``next_tokens[row]`` pairs with the ``row``-th non-restoring
-        sequence in admission order -- the same order :meth:`step` built
-        the decode batch in.  The per-sequence loop here is pure O(1)
-        bookkeeping (emit/stop/retire); the model compute (decode
-        forward, batched sampling) already ran vectorised.
+        ``next_tokens[row]`` pairs with ``seqs[row]`` -- the same order
+        :meth:`step` built the decode batch in.  The per-sequence loop
+        here is pure O(1) bookkeeping (emit/stop/retire); the model
+        compute (decode forward, batched sampling) already ran
+        vectorised.  Finished sequences leave ``self.active``; the rest
+        keep their seats and admission order.
         """
-        still_active: List[_ActiveSequence] = []
-        row = 0
-        for seq in self.active:
-            if seq.restoring:
-                # Mid-restoration sequences sat out this decode; they
-                # keep their seat (and admission order) for next tick.
-                still_active.append(seq)
-                continue
+        for row, seq in enumerate(seqs):
             seq.decode_steps += 1
-            nxt = int(next_tokens[row])
-            row += 1
-            if self._emit_token(seq, nxt, emit_time, finished):
-                still_active.append(seq)
-        self.active = still_active
+            if not self._emit_token(
+                seq, int(next_tokens[row]), emit_time, finished
+            ):
+                self.active.remove(seq)
+
+    def _spec_depth(self, seq: _ActiveSequence) -> int:
+        """Draft steps ``seq`` may run this tick (0 = decode plainly).
+
+        Capped by the sequence's adaptive depth and by its remaining
+        token budget: drafting is only worth a verify pass when at
+        least two tokens remain (one draft plus the bonus), and the
+        deepest useful draft leaves the verify chunk's last fed
+        position strictly inside the worst case reserved at admission
+        (``prompt + max_new - 1`` positions), so speculation never
+        outgrows the page reservation.
+        """
+        remaining = seq.request.max_new_tokens - len(seq.generated_ids)
+        return max(0, min(seq.spec_k, remaining - 1))
+
+    def _speculate(
+        self, drafters: List[_ActiveSequence],
+        finished: List[Completion],
+    ) -> None:
+        """Draft, verify, and commit speculative tokens for ``drafters``.
+
+        Draft phase: up to ``spec_k`` cheap steps per sequence, batched
+        across drafters depth by depth through the aggressive-alpha
+        executor; each step's argmax extends that sequence's proposal
+        (the draft's own logits are never sampled from).  The K/V those
+        steps append is draft-quality, so each slot is rewound to its
+        committed length before verification.
+
+        Verify phase, per sequence: one chunked causal GEMM over
+        ``[committed_token, draft_1, ..., draft_k]`` at the serving
+        alpha yields the target logits after every position; targets
+        are drawn through the normal per-request sampler stream (one
+        draw per emitted token, same draw order as plain decode), and
+        the longest draft prefix matching the targets is accepted plus
+        the one corrected/bonus token.  The slot is truncated to cover
+        exactly the emitted tokens, so rejected positions leave no
+        trace.
+        """
+        spec = self.speculation
+        engine = self.engine
+        depths = [self._spec_depth(seq) for seq in drafters]
+        bases = [seq.slot.length for seq in drafters]
+        current = [seq.last_token for seq in drafters]
+        drafts: List[list] = [[] for _ in drafters]
+        t0 = time.perf_counter()
+        for depth in range(max(depths)):
+            rows = [i for i, d in enumerate(depths) if d > depth]
+            logits = engine.draft_step(
+                [drafters[i].slot for i in rows],
+                [current[i] for i in rows],
+                draft_alpha=spec.draft_alpha,
+            )
+            for j, i in enumerate(rows):
+                tok = int(np.argmax(logits[j]))
+                drafts[i].append(tok)
+                current[i] = tok
+        self.report.draft_seconds += time.perf_counter() - t0
+        self.report.drafted_tokens += sum(depths)
+        # repro: ignore[scalar-loop] -- ragged per-sequence verify chunks
+        for i, seq in enumerate(drafters):
+            k_eff = depths[i]
+            base = bases[i]
+            seq.slot.truncate(base)
+            t0 = time.perf_counter()
+            logits = engine.verify_chunk(
+                seq.slot, [seq.last_token] + drafts[i]
+            )
+            t_emit = time.perf_counter()
+            self.report.verify_seconds += t_emit - t0
+            accepted = 0
+            alive = True
+            for pos in range(k_eff + 1):
+                target = int(
+                    self._sample_tokens([seq], logits[pos][None, :])[0]
+                )
+                is_match = pos < k_eff and target == drafts[i][pos]
+                n_before = len(seq.generated_ids)
+                alive = self._emit_token(seq, target, t_emit, finished)
+                if len(seq.generated_ids) > n_before and is_match:
+                    accepted += 1
+                if not alive or not is_match:
+                    break
+            if alive:
+                # Keep K/V only for tokens actually fed: the committed
+                # token plus the accepted draft prefix.  A finished
+                # sequence's slot was already released by _complete.
+                seq.slot.truncate(base + accepted + 1)
+            else:
+                self.active.remove(seq)
+            self.report.accepted_tokens += accepted
+            seq.decode_steps += 1
+            if spec.adaptive and k_eff:
+                rate = accepted / k_eff
+                seq.spec_ema = (
+                    spec.ema_decay * seq.spec_ema
+                    + (1.0 - spec.ema_decay) * rate
+                )
+                if seq.spec_ema >= spec.raise_threshold:
+                    seq.spec_k = min(seq.spec_k + 1, spec.k)
+                elif seq.spec_ema <= spec.lower_threshold:
+                    seq.spec_k = max(seq.spec_k - 1, 1)
 
     def _finalise_skip_telemetry(self) -> None:
         """Fill the report's realised-vs-analytical skip fields.

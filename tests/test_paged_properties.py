@@ -2,8 +2,8 @@
 
 Drives :class:`PagePool` / :class:`PagedKVSlot` / :meth:`PagedKVCache.fork`
 / :class:`PrefixCache` through random interleavings of allocate / fork /
-append / rewrite / release / retire / revive against a pure-python model
-of the expected contents, asserting after every operation:
+append / truncate / rewrite / release / retire / revive against a pure-python
+model of the expected contents, asserting after every operation:
 
 * ``free + in_use + cached == n_pages`` (no page is ever lost or
   double-counted; every page is exactly one of free, pinned, cached);
@@ -16,6 +16,10 @@ of the expected contents, asserting after every operation:
   still maps, and LRU eviction under page pressure never touches a
   pinned (refcounted) page -- every surviving slot's K/V always matches
   the model;
+* truncating a slot (the PR 9 speculation rollback) returns only pages
+  no other slot maps -- a sharer's page is unpinned, never freed -- and
+  re-credits actually-freed pages to the slot's reservation, so the
+  sequence can always regrow to its admitted worst case;
 * a revived prefix chain holds bit-for-bit the K/V its retired writer
   parked.
 """
@@ -90,7 +94,8 @@ def test_random_interleavings_hold_invariants(micro_config, page_size, seed):
     stamp = 0.0
 
     for op_index in range(150):
-        op = rng.choice(["allocate", "fork", "append", "rewrite", "release"])
+        op = rng.choice(["allocate", "fork", "append", "truncate",
+                         "rewrite", "release"])
         if op == "allocate":
             max_positions = int(rng.integers(0, max_seq_len + 1))
             if cache.n_free == 0 or \
@@ -127,6 +132,17 @@ def test_random_interleavings_hold_invariants(micro_config, page_size, seed):
                 continue          # pool exhausted / all free pages reserved
             slot.advance()
             stamps.append(stamp)
+        elif op == "truncate":
+            # The speculation rollback: dropped tail pages a sharer
+            # still maps are unpinned (not freed); actually-freed pages
+            # flow back into the slot's reservation.
+            if not live:
+                continue
+            index = int(rng.choice(list(live)))
+            slot, stamps = live[index]
+            n_keep = int(rng.integers(0, slot.length + 1))
+            slot.truncate(n_keep)
+            del stamps[n_keep:]
         elif op == "rewrite":
             writable = [(s, st) for s, st in live.values() if s.length > 0]
             if not writable:
@@ -256,6 +272,120 @@ def test_share_free_page_rejected(micro_config):
         cache.pool._share_page(0)
 
 
+# -- KV rollback (speculation's truncate) -----------------------------------
+
+
+def test_truncate_never_frees_a_sharers_pages(micro_config):
+    """Rolling a fork back through the shared prefix unpins, never
+    frees: the donor keeps every page it maps, contents intact."""
+    cache = PagedKVCache(micro_config, n_slots=2, max_seq_len=16,
+                         page_size=4, n_pages=8)
+    n_layers, d = micro_config.n_layers, micro_config.d_model
+    donor = cache.allocate()
+    for pos in range(8):
+        write_position(donor, n_layers, d, pos, float(pos + 1))
+        donor.advance()
+    fork = cache.fork(donor, 8)            # page-aligned: 2 shared pages
+    assert cache.n_shared_pages == 2
+    donor_pages = list(donor.page_table)
+    fork.truncate(0)                       # drop the whole shared prefix
+    assert fork.page_table == []
+    for page in donor_pages:
+        assert cache.pool.refcount(page) == 1      # unpinned, not freed
+        assert page not in cache.pool._free_set
+    assert cache.n_shared_pages == 0
+    keys, values = donor.view(0, 8)
+    np.testing.assert_array_equal(keys[:, 0], np.arange(1.0, 9.0))
+    np.testing.assert_array_equal(values[:, 0], -np.arange(1.0, 9.0))
+    check_invariants(cache, {donor.index: (donor, [float(p + 1)
+                                                   for p in range(8)])})
+
+
+def test_truncate_recredits_freed_pages_to_the_reservation(micro_config):
+    """Freed tail pages flow back into the slot's worst-case budget, so
+    a rolled-back sequence can always regrow to what admission promised
+    -- even when the rest of the pool is spoken for."""
+    cache = PagedKVCache(micro_config, n_slots=2, max_seq_len=16,
+                         page_size=2, n_pages=8)
+    n_layers, d = micro_config.n_layers, micro_config.d_model
+    slot = cache.allocate(max_positions=8)           # reserves 4 pages
+    for pos in range(8):
+        write_position(slot, n_layers, d, pos, float(pos + 1))
+        slot.advance()
+    assert cache.pool._reserved == 0                 # fully materialised
+    hog = cache.allocate(max_positions=8)            # claims the other 4
+    slot.truncate(3)                                 # frees 2 pages...
+    assert cache.pool._reserved == 4 + 2             # ...back on reserve
+    for pos in range(3, 8):                          # regrow to worst case
+        write_position(slot, n_layers, d, pos, float(pos + 1))
+        slot.advance()
+    assert slot.length == 8
+    cache.release(hog)
+    cache.release(slot)
+    assert cache.pool._reserved == 0
+
+
+def test_truncate_then_reappend_is_bit_identical(micro_config):
+    """Rollback leaves no trace: re-appending the same K/V reproduces
+    the original contents exactly (the accept-path contract)."""
+    cache = PagedKVCache(micro_config, n_slots=1, max_seq_len=16,
+                         page_size=4, n_pages=4)
+    n_layers, d = micro_config.n_layers, micro_config.d_model
+    slot = cache.allocate()
+    for pos in range(7):
+        write_position(slot, n_layers, d, pos, float(pos + 1))
+        slot.advance()
+    before_k, before_v = (arr.copy() for arr in slot.view(0, 7))
+    slot.truncate(3)                       # drops the second page
+    for pos in range(3, 7):
+        write_position(slot, n_layers, d, pos, float(pos + 1))
+        slot.advance()
+    after_k, after_v = slot.view(0, 7)
+    np.testing.assert_array_equal(after_k, before_k)
+    np.testing.assert_array_equal(after_v, before_v)
+
+
+def test_reappend_onto_kept_shared_page_copies_on_write(micro_config):
+    """Truncating into a shared full page keeps it mapped; the next
+    append must detach this slot instead of scribbling on the donor."""
+    cache = PagedKVCache(micro_config, n_slots=2, max_seq_len=16,
+                         page_size=4, n_pages=8)
+    n_layers, d = micro_config.n_layers, micro_config.d_model
+    donor = cache.allocate()
+    for pos in range(8):
+        write_position(donor, n_layers, d, pos, float(pos + 1))
+        donor.advance()
+    fork = cache.fork(donor, 8)
+    fork.truncate(5)                       # position 5 lives on shared page 1
+    shared_page = fork.page_table[1]
+    assert cache.pool.refcount(shared_page) == 2
+    write_position(fork, n_layers, d, 5, 99.0)
+    fork.advance()
+    assert fork.page_table[1] != shared_page         # detached
+    assert cache.pool.refcount(shared_page) == 1     # donor keeps it
+    donor_keys, _ = donor.view(0, 8)
+    np.testing.assert_array_equal(donor_keys[:, 0], np.arange(1.0, 9.0))
+    fork_keys, _ = fork.view(0, 6)
+    np.testing.assert_array_equal(fork_keys[:, 0],
+                                  [1.0, 2.0, 3.0, 4.0, 5.0, 99.0])
+
+
+def test_truncate_validation_errors(micro_config):
+    cache = PagedKVCache(micro_config, n_slots=1, max_seq_len=16,
+                         page_size=4, n_pages=4)
+    n_layers, d = micro_config.n_layers, micro_config.d_model
+    slot = cache.allocate()
+    for pos in range(4):
+        write_position(slot, n_layers, d, pos, 1.0)
+        slot.advance()
+    with pytest.raises(ValueError, match="truncate"):
+        slot.truncate(5)                   # beyond current length
+    with pytest.raises(ValueError, match="truncate"):
+        slot.truncate(-1)
+    slot.truncate(4)                       # no-op keeps everything
+    assert slot.length == 4 and len(slot.page_table) == 1
+
+
 # -- cross-request prefix cache (LRU page retention) ------------------------
 
 
@@ -284,8 +414,8 @@ def test_random_interleavings_with_prefix_cache(micro_config, page_size,
     stamp = 0.0
 
     for op_index in range(200):
-        op = rng.choice(["allocate", "fork", "append", "rewrite",
-                         "release", "retire", "revive"])
+        op = rng.choice(["allocate", "fork", "append", "truncate",
+                         "rewrite", "release", "retire", "revive"])
         if op == "allocate":
             max_positions = int(rng.integers(0, max_seq_len + 1))
             if cache.n_free == 0 or \
@@ -321,6 +451,14 @@ def test_random_interleavings_with_prefix_cache(micro_config, page_size,
                 continue          # pool exhausted / all free pages reserved
             slot.advance()
             stamps.append(stamp)
+        elif op == "truncate":
+            if not live:
+                continue
+            index = int(rng.choice(list(live)))
+            slot, stamps = live[index]
+            n_keep = int(rng.integers(0, slot.length + 1))
+            slot.truncate(n_keep)
+            del stamps[n_keep:]
         elif op == "rewrite":
             writable = [(s, st) for s, st in live.values() if s.length > 0]
             if not writable:
