@@ -356,6 +356,55 @@ def main() -> None:
           f"verify {spec_report.verify_seconds * 1e3:.1f}ms; tokens "
           f"identical to plain decode: {spec_out == plain_out}")
 
+    # Traffic realism: instead of a pre-drained queue, a seeded Poisson
+    # arrival trace runs the scheduler into overload -- every request
+    # carries a tight interactive SLO (deadlines in deterministic
+    # scheduler ticks).  Under admission="fifo" the backlog grows and
+    # late requests miss TTFT but still burn decode capacity; under
+    # admission="deadline" (EDF over the queue window) hopeless requests
+    # are shed and the freed capacity serves still-feasible arrivals --
+    # same trace, strictly more goodput.
+    from types import SimpleNamespace
+
+    from repro.eval.reporting import format_goodput
+    from repro.serving import (LoadGenerator, PoissonProcess, SLOSpec,
+                               run_trace)
+
+    chat_slo = SLOSpec("interactive", ttft_steps=6, itl_steps=8)
+
+    def chat_factory(rng, request_id):
+        sample = gsm8k_like.make_problem(rng, n_terms=3)
+        return Request(
+            request_id=request_id,
+            prompt_ids=tuple(tokenizer.encode(sample.prompt, add_bos=True)),
+            max_new_tokens=int(rng.integers(8, 20)),
+            slo=chat_slo,
+        )
+
+    def drain_traffic(admission):
+        engine = build_batched_engine(weights, settings,
+                                      predictor=predictor,
+                                      max_batch_size=4, paged=True,
+                                      page_size=page_size)
+        scheduler = ContinuousBatchingScheduler(engine, admission=admission)
+        trace = LoadGenerator(PoissonProcess(rate=1.2), chat_factory,
+                              seed=3).trace(24)
+        return run_trace(scheduler, trace, ticks_per_second=1.0)
+
+    fifo_report = drain_traffic("fifo")
+    edf_report = drain_traffic("deadline")
+    print(f"\noverloaded Poisson traffic (24 requests, tight interactive "
+          f"SLO), fifo vs deadline admission:")
+    print(format_goodput([
+        SimpleNamespace(label="fifo",
+                        class_stats=fifo_report.class_telemetry()),
+        SimpleNamespace(label="deadline",
+                        class_stats=edf_report.class_telemetry()),
+    ]))
+    print(f"goodput {fifo_report.goodput_tokens} -> "
+          f"{edf_report.goodput_tokens} tokens "
+          f"({edf_report.shed_requests} hopeless requests shed)")
+
 
 if __name__ == "__main__":
     main()

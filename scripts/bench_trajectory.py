@@ -84,6 +84,22 @@ def _serving_throughput(payload: dict) -> tuple[str, str]:
     )
 
 
+def _goodput(payload: dict) -> tuple[str, str]:
+    ratios = {
+        name: pair["deadline"]["goodput_tokens"]
+        / pair["fifo"]["goodput_tokens"]
+        for name, pair in payload["traces"].items()
+    }
+    best_name = max(ratios, key=ratios.get)
+    shed = payload["traces"][best_name]["deadline"]["shed_requests"]
+    factor = payload["workload"]["overload_factor"]
+    return (
+        f"{ratios[best_name]:.2f}x goodput",
+        f"deadline vs fifo on {best_name} trace at {factor}x overload "
+        f"({shed} requests shed)",
+    )
+
+
 EXTRACTORS = {
     "speculative": _speculative,
     "batched_attention": _batched_attention,
@@ -91,6 +107,7 @@ EXTRACTORS = {
     "interleaved_prefill": _interleaved_prefill,
     "prefix_cache": _prefix_cache,
     "serving_throughput": _serving_throughput,
+    "overload_goodput": _goodput,
 }
 
 

@@ -18,7 +18,8 @@ if [ "$#" -eq 0 ]; then
         tests/test_serving.py tests/test_paged_kv.py \
         tests/test_paged_properties.py tests/test_scheduler_properties.py \
         tests/test_batched_sampling.py tests/test_speculative.py \
-        tests/test_analysis.py
+        tests/test_loadgen.py tests/test_slo_scheduling.py \
+        tests/test_bench_trajectory.py tests/test_analysis.py
     # Invariant linter (rule catalog: docs/analysis.md).  Subsumes the
     # old docs-freshness heredoc: the docs-knobs rule fails the gate if
     # an engine/scheduler knob is missing from docs/serving.md, and the
@@ -41,8 +42,11 @@ fi
 # at batch >= 4, draws identical, serving tokens invariant to batch
 # composition), and the speculative-decoding benchmark (draft_alpha x k
 # sweep, tokens identical to speculation=None at every point, best
-# point >= 1.3x decode wall-clock; JSON into benchmarks/results/); opt
-# in because they decode real workloads.
+# point >= 1.3x decode wall-clock; JSON into benchmarks/results/), and
+# the overload-goodput benchmark (seeded Poisson + bursty traces at
+# 1.5x measured capacity: deadline admission strictly out-goodputs
+# fifo on the identical trace, and fifo stays bit-identical with the
+# SLOs stripped); opt in because they decode real workloads.
 if [ "${CHECK_SLOW:-0}" = "1" ]; then
     PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q \
         -m slow -p no:cacheprovider benchmarks/bench_paged_kv.py \
@@ -51,5 +55,6 @@ if [ "${CHECK_SLOW:-0}" = "1" ]; then
         benchmarks/bench_batched_attention.py \
         benchmarks/bench_interleaved_prefill.py \
         benchmarks/bench_batched_sampling.py \
-        benchmarks/bench_speculative.py
+        benchmarks/bench_speculative.py \
+        benchmarks/bench_overload_goodput.py
 fi

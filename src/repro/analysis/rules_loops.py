@@ -72,6 +72,15 @@ HOT_FUNCTIONS: Dict[Tuple[str, str], FrozenSet[str]] = {
     ("src/repro/serving/scheduler.py",
      "ContinuousBatchingScheduler._sample_tokens"):
         frozenset({"seqs", "logits", "configs"}),
+    # Seeded load generation (PR 10): arrival traces must be drawn as
+    # vectorised batches (one exponential/cumsum call, batched thinning
+    # candidates), never gap-by-gap -- a `for` statement over the gap
+    # or candidate arrays would mean per-arrival RNG calls crept back
+    # into trace construction.
+    ("src/repro/serving/loadgen.py", "PoissonProcess.arrival_times"):
+        frozenset({"gaps", "n"}),
+    ("src/repro/serving/loadgen.py", "DiurnalProcess.arrival_times"):
+        frozenset({"gaps", "cand", "keep", "kept"}),
 }
 
 #: Calls that do not count as per-element work (O(1) bookkeeping).

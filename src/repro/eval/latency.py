@@ -226,6 +226,16 @@ class ServingMeasurement:
     itl_p50_seconds: float = 0.0
     itl_p99_seconds: float = 0.0
     max_itl_seconds: float = 0.0
+    # Goodput / SLO telemetry (scheduler admission knob): the
+    # ServeReport met/missed/shed split, SLO-met tokens, and the
+    # per-class digest from ServeReport.class_telemetry() -- non-trivial
+    # only when requests carry SLOSpec contracts.
+    admission: str = "fifo"
+    slo_met_requests: int = 0
+    slo_missed_requests: int = 0
+    shed_requests: int = 0
+    goodput_tokens: int = 0
+    class_stats: dict = field(default_factory=dict)
 
     @property
     def wall_seconds(self) -> float:
@@ -246,6 +256,12 @@ class ServingMeasurement:
     @property
     def decode_tokens_per_second(self) -> float:
         return self.tokens_generated / self.decode_seconds if self.decode_seconds else 0.0
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Fraction of generated tokens that counted as goodput."""
+        return (self.goodput_tokens / self.tokens_generated
+                if self.tokens_generated else 0.0)
 
     def speedup_over(self, other: "ServingMeasurement") -> float:
         return self.tokens_per_second / other.tokens_per_second
@@ -270,6 +286,8 @@ def measure_batched_serving(
     preemption: bool = False,
     sampling=None,
     speculation=None,
+    admission: str = "fifo",
+    deadline_window: int = 8,
 ) -> ServingMeasurement:
     """Drain ``requests`` through a batched engine and measure throughput.
 
@@ -283,7 +301,9 @@ def measure_batched_serving(
     engine-default :class:`repro.model.sampler.SamplerConfig` for
     requests without their own (None = greedy argmax), and
     ``speculation`` a :class:`repro.serving.SpecConfig` enabling
-    speculative self-drafting (None = plain decode).
+    speculative self-drafting (None = plain decode).  ``admission`` /
+    ``deadline_window`` select the scheduler's arbitration policy
+    (``"deadline"`` = EDF + load shedding over SLO contracts).
     """
     from ..core.engine import build_batched_engine
     from ..serving.scheduler import ContinuousBatchingScheduler
@@ -302,6 +322,7 @@ def measure_batched_serving(
     scheduler = ContinuousBatchingScheduler(
         engine, reorder_window=reorder_window,
         step_budget=step_budget, preemption=preemption,
+        admission=admission, deadline_window=deadline_window,
     )
     for request in requests:
         scheduler.submit(request)
@@ -324,6 +345,8 @@ def measure_batched_serving(
         label += f"+sampled(T={sampling.temperature:g})"
     if speculation is not None:
         label += f"+spec(a={speculation.draft_alpha:g},k={speculation.k})"
+    if admission == "deadline":
+        label += f"+edf{deadline_window}"
     return ServingMeasurement(
         label=label,
         max_batch_size=max_batch_size,
@@ -365,6 +388,12 @@ def measure_batched_serving(
         itl_p50_seconds=report.itl_seconds_percentile(50),
         itl_p99_seconds=report.itl_seconds_percentile(99),
         max_itl_seconds=report.max_itl_seconds,
+        admission=report.admission,
+        slo_met_requests=report.slo_met_requests,
+        slo_missed_requests=report.slo_missed_requests,
+        shed_requests=report.shed_requests,
+        goodput_tokens=report.goodput_tokens,
+        class_stats=report.class_telemetry(),
     )
 
 

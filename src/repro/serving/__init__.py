@@ -56,6 +56,15 @@ Pieces:
   chunked causal GEMM verifies ``k + 1`` positions at the serving
   alpha, rejected draft K/V is rolled back with ``truncate`` -- output
   stays token-identical to non-speculative serving by construction.
+* :mod:`repro.serving.loadgen` -- deterministic seeded traffic:
+  arrival processes (:class:`PoissonProcess`, bursty
+  :class:`OnOffProcess`, :class:`DiurnalProcess`) feed a
+  :class:`LoadGenerator` whose timed traces :func:`run_trace` replays
+  against the scheduler on a virtual tick clock.  Requests carry SLO
+  contracts (:class:`SLOSpec` on :class:`Request`); the scheduler's
+  ``admission="deadline"`` mode admits earliest-deadline-first, sheds
+  hopeless requests, and the :class:`ServeReport` accounts goodput
+  (SLO-met tokens) per traffic class.
 
 ``docs/serving.md`` walks the whole pipeline and tabulates every engine
 knob and every ``ServeReport`` telemetry field.
@@ -64,8 +73,16 @@ knob and every ``ServeReport`` telemetry field.
 from ..model.sampler import BatchedSampler, Sampler, SamplerConfig
 from .batch_mlp import BatchedMLPStats, BatchedSparseInferMLP
 from .engine import BatchedEngine, PrefixIndex
+from .loadgen import (
+    DiurnalProcess,
+    LoadGenerator,
+    OnOffProcess,
+    PoissonProcess,
+    TimedRequest,
+    run_trace,
+)
 from .queue import EmptyQueueError, RequestQueue
-from .request import Completion, Request
+from .request import Completion, Request, SLOSpec
 from .scheduler import ContinuousBatchingScheduler, ServeReport
 from .speculative import SpecConfig
 
@@ -76,12 +93,19 @@ __all__ = [
     "BatchedSparseInferMLP",
     "Completion",
     "ContinuousBatchingScheduler",
+    "DiurnalProcess",
     "EmptyQueueError",
+    "LoadGenerator",
+    "OnOffProcess",
+    "PoissonProcess",
     "PrefixIndex",
     "Request",
     "RequestQueue",
     "Sampler",
     "SamplerConfig",
     "ServeReport",
+    "SLOSpec",
     "SpecConfig",
+    "TimedRequest",
+    "run_trace",
 ]

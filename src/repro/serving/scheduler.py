@@ -103,6 +103,35 @@ so the no-mid-decode-starvation guarantee is untouched; with
 ``adaptive=True`` a per-sequence acceptance-rate EMA moves ``spec_k``
 between 1 and ``k``.
 
+**Deadline admission and load shedding (PR 10).**  With
+``admission="deadline"`` the FIFO arbitration is replaced by
+earliest-deadline-first over a bounded queue window: each admission
+picks, from the first ``deadline_window`` queued requests, the one with
+the earliest TTFT deadline (``submit tick + slo.ttft_steps``; a resumed
+evictee that already emitted is ranked by its next ITL deadline, and
+requests without an :class:`~repro.serving.request.SLOSpec` rank last
+at ``+inf``).  ``Request.priority`` breaks deadline ties -- higher
+priority first -- and equal-priority equal-deadline candidates fall
+back to FIFO order.  Starvation stays impossible via the same
+bounded-bypass rule as ``reorder_window``: once the FIFO head has been
+bypassed ``deadline_window - 1`` admissions in a row it *must* be the
+next admission.  Under overload the scheduler additionally **sheds**
+queued requests whose TTFT deadline has already passed (with inline
+prefill the first token can still be emitted in the admission tick, so
+a request is hopeless exactly when ``step_count`` exceeds its
+deadline): they complete as rejected-typed
+:class:`~repro.serving.request.Completion` objects with ``shed=True``
+and a ``"shed: ..."`` error, never silently vanish, and free their
+decode capacity for requests that can still meet their deadlines --
+which is why deadline admission wins *goodput* (SLO-met tokens) over
+FIFO on the same overloaded trace.  Preemption victim selection also
+becomes deadline-aware: among strictly-lower-priority residents the
+one with the most deadline slack is evicted.  SLO deadlines are
+expressed in scheduler ticks, so admission order, shedding, and the
+goodput accounting are deterministic functions of the trace.
+``admission="fifo"`` (the default) keeps every legacy behaviour
+bit-for-bit: SLO fields then only add accounting, never scheduling.
+
 The admission loop drains the queue by catching the typed
 :class:`~repro.serving.queue.EmptyQueueError` only -- a bare
 ``IndexError`` escaping from admission bookkeeping is a bug and must
@@ -134,8 +163,9 @@ class _ActiveSequence:
     through the *decode* path before it can continue.  While either is
     non-empty the sequence is :attr:`restoring` and sits out the decode
     batch.  ``emit_times`` records one wall-clock stamp per emitted
-    token (TTFT / inter-token gaps); ``preemptions`` counts evictions
-    survived so far.
+    token (TTFT / inter-token gaps) and ``emit_steps`` the tick count
+    of the same emissions (the deterministic clock SLO deadlines are
+    judged against); ``preemptions`` counts evictions survived so far.
 
     Speculation state: ``spec_k`` is this sequence's current draft
     depth (0 = never drafts; set to the config's ``k`` at admission
@@ -155,6 +185,7 @@ class _ActiveSequence:
     preemptions: int = 0
     first_token_step: int = -1
     emit_times: list = field(default_factory=list)
+    emit_steps: list = field(default_factory=list)
     spec_k: int = 0
     spec_ema: float = 1.0
 
@@ -233,6 +264,23 @@ class ServeReport:
     counted in neither), and ``draft_seconds`` / ``verify_seconds``
     the wall time in the draft steps and the chunked verify passes
     (both part of :attr:`wall_seconds`).
+
+    Goodput / SLO telemetry (PR 10): ``admission`` echoes the
+    scheduler knob; every completion lands in exactly one of
+    ``slo_met_requests`` (its :class:`~repro.serving.request.SLOSpec`
+    was met, or it carried none), ``slo_missed_requests`` (deadline
+    violated, or rejected while holding an SLO), or ``shed_requests``
+    (dropped hopeless under deadline admission), so the three always
+    sum to ``len(completions)``.  ``goodput_tokens`` counts only the
+    tokens of SLO-met completions (``goodput_tokens <=
+    tokens_generated`` by construction; :attr:`goodput_fraction` is
+    the ratio).  ``class_stats`` keys each ``slo_class`` tag
+    (``"none"`` for SLO-less requests) to the same counters plus a
+    token total, and sums across classes reproduce the report totals
+    exactly -- the accounting identity the property suite locks.
+    Per-class tick-based percentiles come from
+    :meth:`ttft_steps_percentile` / :meth:`itl_steps_percentile` and
+    the merged view :meth:`class_telemetry`.
     """
 
     completions: List[Completion] = field(default_factory=list)
@@ -281,6 +329,12 @@ class ServeReport:
     accepted_tokens: int = 0           # drafts the verify pass confirmed
     draft_seconds: float = 0.0         # wall time in aggressive-alpha drafting
     verify_seconds: float = 0.0        # wall time in chunked verify passes
+    admission: str = "fifo"            # scheduler knob ("fifo" | "deadline")
+    slo_met_requests: int = 0          # completions inside their SLO (or none)
+    slo_missed_requests: int = 0       # completions that violated their SLO
+    shed_requests: int = 0             # hopeless requests dropped pre-admission
+    goodput_tokens: int = 0            # tokens of SLO-met completions only
+    class_stats: dict = field(default_factory=dict)   # slo_class -> counters
 
     @property
     def wall_seconds(self) -> float:
@@ -387,6 +441,64 @@ class ServeReport:
         values = self.itl_values
         return max(values) if values else 0.0
 
+    @property
+    def goodput_fraction(self) -> float:
+        """Fraction of generated tokens that counted as goodput."""
+        return (self.goodput_tokens / self.tokens_generated
+                if self.tokens_generated else 0.0)
+
+    @staticmethod
+    def _class_of(completion: Completion) -> str:
+        """The completion's traffic-class tag (``"none"`` without an SLO)."""
+        slo = completion.request.slo
+        return slo.slo_class if slo is not None else "none"
+
+    def _class_completions(self, slo_class: Optional[str]) -> list:
+        if slo_class is None:
+            return self.completions
+        return [c for c in self.completions if self._class_of(c) == slo_class]
+
+    def ttft_steps_percentile(
+        self, q: float, slo_class: Optional[str] = None
+    ) -> float:
+        """``q``-th percentile of tick-based TTFT, optionally per class.
+
+        The deterministic counterpart of :meth:`ttft_seconds_percentile`:
+        measured in scheduler ticks against ``submitted_step``, so the
+        same trace yields the same percentile on any machine.  Requests
+        that emitted nothing are excluded; 0 if none qualify.
+        """
+        values = [
+            c.ttft_steps for c in self._class_completions(slo_class)
+            if c.ttft_steps is not None
+        ]
+        return float(np.percentile(values, q)) if values else 0.0
+
+    def itl_steps_percentile(
+        self, q: float, slo_class: Optional[str] = None
+    ) -> float:
+        """``q``-th percentile of tick-based inter-token gaps (0 if none)."""
+        values = [
+            v for c in self._class_completions(slo_class)
+            for v in c.itl_steps
+        ]
+        return float(np.percentile(values, q)) if values else 0.0
+
+    def class_telemetry(self) -> dict:
+        """Per-class goodput counters merged with tick percentiles.
+
+        One entry per ``slo_class`` seen (``"none"`` for SLO-less
+        requests): the :attr:`class_stats` counters plus
+        ``ttft_p99_steps`` / ``itl_p99_steps`` for that class -- the
+        digest :func:`repro.eval.reporting.format_goodput` tabulates.
+        """
+        merged = {}
+        for tag, stats in sorted(self.class_stats.items()):
+            merged[tag] = dict(stats)
+            merged[tag]["ttft_p99_steps"] = self.ttft_steps_percentile(99, tag)
+            merged[tag]["itl_p99_steps"] = self.itl_steps_percentile(99, tag)
+        return merged
+
     def _attn_telemetry(self):
         """This run's counters as an AttentionTelemetry (one source of
         truth for the derived fractions)."""
@@ -452,6 +564,16 @@ class ContinuousBatchingScheduler:
     falls back to the engine's own ``speculation`` knob; drafted
     positions never exceed the worst case already reserved at
     admission, so page math is unchanged.
+
+    ``admission`` selects the arbitration policy: ``"fifo"`` (default)
+    is the historical queue-order admission, ``"deadline"`` replaces it
+    with earliest-TTFT-deadline-first over the first ``deadline_window``
+    queued requests plus load shedding of requests whose deadline has
+    already passed (see module docstring).  Deadline admission and
+    ``reorder_window > 1`` both rearbitrate the same window, so they are
+    mutually exclusive; ``deadline_window`` bounds both the EDF scan and
+    the head-bypass streak (the head is forced through after
+    ``deadline_window - 1`` consecutive bypasses).
     """
 
     def __init__(
@@ -464,6 +586,8 @@ class ContinuousBatchingScheduler:
         preemption: bool = False,
         on_token=None,
         speculation: Optional[SpecConfig] = None,
+        admission: str = "fifo",
+        deadline_window: int = 8,
     ):
         if reorder_window < 0:
             raise ValueError(
@@ -477,6 +601,19 @@ class ContinuousBatchingScheduler:
             raise ValueError(
                 f"on_token must be callable or None, got {type(on_token).__name__}"
             )
+        if admission not in ("fifo", "deadline"):
+            raise ValueError(
+                f"admission must be 'fifo' or 'deadline', got {admission!r}"
+            )
+        if deadline_window < 1:
+            raise ValueError(
+                f"deadline_window must be >= 1, got {deadline_window}"
+            )
+        if admission == "deadline" and reorder_window > 1:
+            raise ValueError(
+                "admission='deadline' and reorder_window > 1 both "
+                "rearbitrate the queue window; use one or the other"
+            )
         self.on_token = on_token
         self.engine = engine
         self.queue = queue if queue is not None else RequestQueue()
@@ -486,6 +623,8 @@ class ContinuousBatchingScheduler:
         self.reorder_window = reorder_window
         self.step_budget = step_budget
         self.preemption = bool(preemption)
+        self.admission = admission
+        self.deadline_window = deadline_window
         self.speculation = (
             speculation if speculation is not None
             else getattr(engine, "speculation", None)
@@ -494,12 +633,14 @@ class ContinuousBatchingScheduler:
         self.step_count = 0
         self._head_skips = 0       # consecutive admissions that bypassed head
         self._submit_times = {}    # request_id -> perf_counter at submit()
+        self._submit_steps = {}    # request_id -> step_count at submit()
         self._resume_state = {}    # request_id -> progress of an evictee
         self._tick_prefill_tokens = 0   # prefill+replay tokens fed this tick
         self.report = ServeReport(
             n_pages=getattr(engine.cache, "n_pages", 0),
             cache_pages=getattr(engine, "cache_pages", 0),
             step_budget=step_budget,
+            admission=admission,
         )
         # The prefix cache's eviction counter is cumulative across the
         # engine's lifetime; snapshot it so a reused engine still yields
@@ -559,6 +700,7 @@ class ContinuousBatchingScheduler:
         if reason is not None:
             raise ValueError(reason)
         self._submit_times[request.request_id] = time.perf_counter()
+        self._submit_steps[request.request_id] = self.step_count
         self.queue.submit(request)
 
     @property
@@ -616,6 +758,7 @@ class ContinuousBatchingScheduler:
         if seq.first_token_step < 0:
             seq.first_token_step = self.step_count
         seq.emit_times.append(emit_time)
+        seq.emit_steps.append(self.step_count)
         self.report.tokens_generated += 1
         if self.on_token is not None:
             self.on_token(request.request_id, token_id, self.step_count)
@@ -647,9 +790,53 @@ class ContinuousBatchingScheduler:
             preemptions=seq.preemptions,
             ttft_seconds=ttft,
             itl_seconds=itl,
+            submitted_step=self._submit_steps.pop(
+                seq.request.request_id, 0
+            ),
+            emit_steps=list(seq.emit_steps),
         )
-        self.report.completions.append(completion)
+        self._account(completion)
         return completion
+
+    def _account(self, completion: Completion) -> None:
+        """Record ``completion`` and settle its goodput/SLO ledger entry.
+
+        The single append path into ``report.completions`` -- every
+        completion flavour (decoded, rejected, zero-token, shed) passes
+        through here exactly once, which is what makes the accounting
+        identity (met + missed + shed == len(completions), per-class
+        sums == report totals) structural rather than hoped-for.
+        """
+        report = self.report
+        report.completions.append(completion)
+        tag = report._class_of(completion)
+        stats = report.class_stats.setdefault(tag, {
+            "requests": 0, "slo_met": 0, "slo_missed": 0, "shed": 0,
+            "goodput_tokens": 0, "tokens": 0,
+        })
+        stats["requests"] += 1
+        stats["tokens"] += completion.n_generated
+        if completion.shed:
+            completion.slo_met = False
+            report.shed_requests += 1
+            stats["shed"] += 1
+            return
+        slo = completion.request.slo
+        if slo is None:
+            met = True     # vacuously in-SLO; slo_met stays None
+        else:
+            met = completion.error is None and slo.met(
+                completion.submitted_step, completion.emit_steps
+            )
+            completion.slo_met = met
+        if met:
+            report.slo_met_requests += 1
+            report.goodput_tokens += completion.n_generated
+            stats["slo_met"] += 1
+            stats["goodput_tokens"] += completion.n_generated
+        else:
+            report.slo_missed_requests += 1
+            stats["slo_missed"] += 1
 
     def _admission_plan(self, request: Request) -> tuple:
         """``(donor, shared, pages, needed, fits)`` for admitting ``request``.
@@ -712,44 +899,177 @@ class ContinuousBatchingScheduler:
                 best_shared = c_shared
         return best
 
+    # -- deadline admission (admission="deadline") -------------------------
+
+    def _queue_deadline(self, request: Request) -> float:
+        """The tick by which ``request`` next owes a token, from the queue.
+
+        A fresh request owes its first token by ``submitted_step +
+        slo.ttft_steps``; a preempted evictee that already emitted owes
+        its next token one ITL deadline after its last emission (its
+        TTFT contract is settled and survives in ``_resume_state``).
+        Requests with no SLO -- or none bounding the owed token -- rank
+        last at ``+inf``.
+        """
+        slo = request.slo
+        if slo is None:
+            return float("inf")
+        resume = self._resume_state.get(request.request_id)
+        if resume is not None and resume["emit_steps"]:
+            if slo.itl_steps is None:
+                return float("inf")
+            return resume["emit_steps"][-1] + slo.itl_steps
+        if slo.ttft_steps is None:
+            return float("inf")
+        return self._submit_steps.get(request.request_id, 0) + slo.ttft_steps
+
+    def _resident_deadline(self, seq: _ActiveSequence) -> float:
+        """The tick by which resident ``seq`` next owes a token."""
+        slo = seq.request.slo
+        if slo is None:
+            return float("inf")
+        if seq.emit_steps:
+            if slo.itl_steps is None:
+                return float("inf")
+            return seq.emit_steps[-1] + slo.itl_steps
+        if slo.ttft_steps is None:
+            return float("inf")
+        return (
+            self._submit_steps.get(seq.request.request_id, 0)
+            + slo.ttft_steps
+        )
+
+    def _choose_deadline_candidate(self) -> tuple:
+        """``(queue_index, request)`` for the next deadline admission.
+
+        Earliest deadline first over the first ``deadline_window``
+        queued requests; ``priority`` breaks deadline ties (higher
+        first) and the strict ``<`` comparison keeps the first-seen --
+        i.e. FIFO-earliest -- winner on full ties.  Once the head has
+        been bypassed ``deadline_window - 1`` times in a row it is
+        forced through regardless of deadlines (the same bounded-bypass
+        rule ``reorder_window`` uses), so no feasible request starves.
+        """
+        window = self.queue.window(self.deadline_window)
+        if self._head_skips >= self.deadline_window - 1:
+            return 0, window[0]
+        best_index, best_rank = 0, None
+        for i, request in enumerate(window):
+            rank = (self._queue_deadline(request), -request.priority)
+            if best_rank is None or rank < best_rank:
+                best_index, best_rank = i, rank
+        return best_index, window[best_index]
+
+    def _shed_hopeless(self, finished: List[Completion]) -> None:
+        """Drop queued requests whose TTFT deadline has already passed.
+
+        A queued request is hopeless once ``step_count`` exceeds its
+        TTFT deadline: inline admission can still emit a first token in
+        the admission tick itself, so ``step_count == deadline`` is the
+        last tick that could save it.  Hopeless requests complete as
+        rejected-typed, ``shed=True`` completions (never silently
+        vanish).  Preempted evictees that already emitted a token are
+        never shed -- their TTFT contract is already settled and their
+        generated tokens must not be discarded.
+        """
+        while True:
+            victim_index = None
+            for i, request in enumerate(self.queue.window(self.deadline_window)):
+                slo = request.slo
+                if slo is None or slo.ttft_steps is None:
+                    continue
+                resume = self._resume_state.get(request.request_id)
+                if resume is not None and resume["emit_steps"]:
+                    continue
+                deadline = (
+                    self._submit_steps.get(request.request_id, 0)
+                    + slo.ttft_steps
+                )
+                if self.step_count > deadline:
+                    victim_index = i
+                    break
+            if victim_index is None:
+                return
+            request = self.queue.pop_at(victim_index)
+            if victim_index == 0:
+                self._head_skips = 0
+            self._submit_times.pop(request.request_id, None)
+            submitted = self._submit_steps.pop(request.request_id, 0)
+            self._resume_state.pop(request.request_id, None)
+            completion = Completion(
+                request=request, generated_ids=[],
+                admitted_step=self.step_count,
+                finished_step=self.step_count,
+                error=(
+                    f"shed: request {request.request_id} missed its TTFT "
+                    f"deadline (submitted tick {submitted} + "
+                    f"{request.slo.ttft_steps} < tick {self.step_count})"
+                ),
+                shed=True,
+                submitted_step=submitted,
+            )
+            self._account(completion)
+            finished.append(completion)
+
     def _admit(self, finished: List[Completion]) -> None:
         evicted: List[Request] = []
         head_blocked = False
+        deadline_mode = self.admission == "deadline"
         while True:
-            try:
-                head = self.queue.peek()
-            except EmptyQueueError:
-                break
+            if deadline_mode:
+                # Shed-first keeps hopeless requests from ever winning
+                # the EDF scan: their (already passed) deadlines would
+                # otherwise rank them ahead of every savable request.
+                self._shed_hopeless(finished)
+                if not self.queue:
+                    break
+                cand_index, head = self._choose_deadline_candidate()
+            else:
+                try:
+                    head = self.queue.peek()
+                except EmptyQueueError:
+                    break
+                cand_index = 0
             reason = self._capacity_error(head)
             if reason is not None:
                 # Queued without going through submit(); reject instead
                 # of letting KVSlot.append blow up the whole batch.
                 # Rejection consumes no slot, so a full batch never
                 # delays it.
-                self.queue.pop()
-                self._head_skips = 0
+                self.queue.pop_at(cand_index)
+                self._head_skips = (
+                    0 if cand_index == 0 else self._head_skips + 1
+                )
                 self._submit_times.pop(head.request_id, None)
                 completion = Completion(
                     request=head, generated_ids=[],
                     admitted_step=self.step_count,
                     finished_step=self.step_count, error=reason,
+                    submitted_step=self._submit_steps.pop(
+                        head.request_id, 0
+                    ),
                 )
-                self.report.completions.append(completion)
+                self._account(completion)
                 finished.append(completion)
                 continue
             if head.max_new_tokens == 0:
                 # Nothing to decode: complete empty without burning a KV
                 # slot, a decode-batch seat, or a prefill the output can
                 # never use.
-                self.queue.pop()
-                self._head_skips = 0
+                self.queue.pop_at(cand_index)
+                self._head_skips = (
+                    0 if cand_index == 0 else self._head_skips + 1
+                )
                 self._submit_times.pop(head.request_id, None)
                 completion = Completion(
                     request=head, generated_ids=[],
                     admitted_step=self.step_count,
                     finished_step=self.step_count,
+                    submitted_step=self._submit_steps.pop(
+                        head.request_id, 0
+                    ),
                 )
-                self.report.completions.append(completion)
+                self._account(completion)
                 finished.append(completion)
                 continue
             if len(self.active) >= self.max_batch_size:
@@ -757,7 +1077,15 @@ class ContinuousBatchingScheduler:
                     continue   # a seat was freed; retry the head
                 head_blocked = bool(evicted)
                 break
-            choice = self._choose_admission(head)
+            if deadline_mode:
+                donor, shared, pages, needed, fits = \
+                    self._admission_plan(head)
+                choice = (
+                    (cand_index, head, donor, shared, pages, needed)
+                    if fits else None
+                )
+            else:
+                choice = self._choose_admission(head)
             if choice is None:
                 # The head waits for a seat and slots/pages, and no
                 # in-window prefix-sharer can take its place -- unless
@@ -808,6 +1136,7 @@ class ContinuousBatchingScheduler:
                 seq.preemptions = resume["preemptions"]
                 seq.first_token_step = resume["first_token_step"]
                 seq.emit_times = list(resume["emit_times"])
+                seq.emit_steps = list(resume["emit_steps"])
                 seq.spec_k = resume.get("spec_k", seq.spec_k)
                 seq.spec_ema = resume.get("spec_ema", seq.spec_ema)
                 self.report.resumed_admissions += 1
@@ -842,8 +1171,15 @@ class ContinuousBatchingScheduler:
             # Victims resume ahead of FIFO order -- but never ahead of a
             # head that is still blocked after the eviction, or the
             # (lower-priority) victim would queue-jump the very request
-            # it was evicted for, ping-ponging forever.
-            held = self.queue.pop() if head_blocked else None
+            # it was evicted for, ping-ponging forever.  Deadline mode
+            # needs no hold: EDF rearbitrates the window every admission
+            # regardless of queue position, and a victim that keeps
+            # losing pages eventually sheds or finishes (preemption
+            # chains strictly descend in priority).
+            held = (
+                self.queue.pop()
+                if head_blocked and not deadline_mode else None
+            )
             for request in reversed(evicted):
                 self.queue.push_front(request)
             if held is not None:
@@ -921,8 +1257,24 @@ class ContinuousBatchingScheduler:
         never evict each other, so every preemption chain descends in
         priority and is finite.  Among equals the latest-admitted loses
         (it has the least sunk decode work to replay).
+
+        Under ``admission="deadline"`` victim selection is
+        deadline-aware: among the strictly-lower-priority residents the
+        one with the *most* deadline slack (latest next-owed-token tick)
+        loses -- evicting the most urgent resident would just convert
+        one SLO miss into another.  Priority still gates who is
+        evictable at all, so the anti-livelock rule is untouched.
         """
         victim = None
+        if self.admission == "deadline":
+            victim_rank = None
+            for seq in self.active:
+                if seq.request.priority >= priority:
+                    continue
+                rank = (self._resident_deadline(seq), -seq.request.priority)
+                if victim is None or rank >= victim_rank:
+                    victim, victim_rank = seq, rank
+            return victim
         for seq in self.active:
             if seq.request.priority >= priority:
                 continue
@@ -957,6 +1309,7 @@ class ContinuousBatchingScheduler:
             "preemptions": seq.preemptions + 1,
             "first_token_step": seq.first_token_step,
             "emit_times": list(seq.emit_times),
+            "emit_steps": list(seq.emit_steps),
             "spec_k": seq.spec_k,
             "spec_ema": seq.spec_ema,
         }

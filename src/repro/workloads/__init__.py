@@ -1,4 +1,12 @@
-"""Synthetic generative tasks standing in for GSM8K and BBH."""
+"""Synthetic generative tasks standing in for GSM8K and BBH.
+
+:mod:`~repro.workloads.scenarios` wraps these task generators into
+named serving request-shape classes (shared-prefix fleets, prefill-heavy
+summarise-style, decode-heavy chat-style) with per-scenario SLOs and
+weighted mixes, for the load generator in
+:mod:`repro.serving.loadgen`.  It is imported lazily here to keep the
+plain task generators importable without the serving stack.
+"""
 
 from . import bbh_like, gsm8k_like
 from .fewshot import build_fewshot_prompt, fewshot_set

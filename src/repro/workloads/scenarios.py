@@ -1,0 +1,194 @@
+"""Named request-shape scenarios for the serving load generator.
+
+The arrival processes in :mod:`repro.serving.loadgen` say *when*
+requests land; this module says *what* they look like.  Each
+:class:`Scenario` wraps the existing synthetic task generators
+(:mod:`~repro.workloads.gsm8k_like`, :mod:`~repro.workloads.bbh_like`,
+:func:`~repro.workloads.fewshot.build_fewshot_prompt`) into one of the
+request-shape classes serving papers evaluate on, tagged with the SLO
+class that traffic would realistically carry:
+
+* ``fewshot_fleet`` -- few-shot prompts over a *fixed* exemplar
+  prefix: every request in the fleet shares the same long prompt
+  prefix, the shape that exercises prefix sharing / forked admission.
+* ``summarise_style`` -- long prompt, short output: a batch of solved
+  problems to "summarise" into one final answer chain, the
+  prefill-heavy shape that motivates step-budgeted ticks.
+* ``chat_style`` -- short prompt, long output with a tight TTFT SLO:
+  the interactive decode-heavy shape deadline admission exists for.
+
+A :class:`ScenarioMix` draws scenarios by weight from the factory's
+Generator -- the same seeded stream that draws request shapes, so one
+seed still names one bit-identical workload.  All scenarios share one
+:func:`scenario_tokenizer` over the union alphabet, so mixed traffic
+can be served by a single engine vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..model.tokenizer import CharTokenizer
+from ..serving.request import Request, SLOSpec
+from . import bbh_like, gsm8k_like
+from .fewshot import build_fewshot_prompt
+
+# Union of the task alphabets (stable order: gsm8k first), so every
+# scenario's text encodes under one vocabulary.
+SCENARIO_ALPHABET = gsm8k_like.ALPHABET + "TF&|!"
+
+
+def scenario_tokenizer() -> CharTokenizer:
+    """The shared char tokenizer every scenario encodes with."""
+    return CharTokenizer(alphabet=SCENARIO_ALPHABET)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named request-shape class.
+
+    ``sampler(rng) -> (prompt, max_new_tokens)`` draws one request's
+    text shape from the factory's seeded Generator; :meth:`build`
+    encodes it and attaches the scenario's SLO contract.
+    """
+
+    name: str
+    slo: Optional[SLOSpec]
+    sampler: Callable[[np.random.Generator], tuple]
+
+    def build(
+        self, rng: np.random.Generator, request_id: int,
+        tokenizer: CharTokenizer,
+    ) -> Request:
+        prompt, max_new = self.sampler(rng)
+        return Request(
+            request_id=request_id,
+            prompt_ids=tuple(tokenizer.encode(prompt, add_bos=True)),
+            max_new_tokens=int(max_new),
+            slo=self.slo,
+        )
+
+
+def fewshot_fleet(
+    n_shots: int = 4,
+    seed: int = 0,
+    slo: Optional[SLOSpec] = SLOSpec("fleet", ttft_steps=24, itl_steps=12),
+) -> Scenario:
+    """Few-shot requests over one fixed exemplar prefix (shared prefix).
+
+    The exemplars are drawn once from ``seed + 10_000`` (the same
+    disjoint-seed convention as :func:`~repro.workloads.fewshot.
+    fewshot_set`), so every request in the fleet carries the identical
+    solved-exemplar prefix ahead of its own fresh problem -- the
+    donor-forkable shape.
+    """
+    exemplar_rng = np.random.default_rng(seed + 10_000)
+    exemplars = [gsm8k_like.make_problem(exemplar_rng) for _ in range(n_shots)]
+
+    def sampler(rng: np.random.Generator) -> tuple:
+        sample = build_fewshot_prompt(exemplars, gsm8k_like.make_problem(rng))
+        return sample.prompt, len(sample.answer)
+
+    return Scenario(name="fewshot_fleet", slo=slo, sampler=sampler)
+
+
+def summarise_style(
+    n_documents: int = 6,
+    slo: Optional[SLOSpec] = SLOSpec("batch", ttft_steps=64, itl_steps=16),
+) -> Scenario:
+    """Long prompt, short output: prefill-heavy summarise-style traffic.
+
+    The prompt concatenates ``n_documents`` solved boolean chains (the
+    "documents") followed by one unsolved problem; the output is just
+    that problem's short answer chain.
+    """
+
+    def sampler(rng: np.random.Generator) -> tuple:
+        docs = "".join(
+            bbh_like.make_problem(rng).text for _ in range(n_documents)
+        )
+        final = bbh_like.make_problem(rng)
+        return docs + final.prompt, len(final.answer)
+
+    return Scenario(name="summarise_style", slo=slo, sampler=sampler)
+
+
+def chat_style(
+    min_turn_tokens: int = 12,
+    max_turn_tokens: int = 32,
+    slo: Optional[SLOSpec] = SLOSpec("interactive", ttft_steps=8, itl_steps=4),
+) -> Scenario:
+    """Short prompt, long output with a tight TTFT: interactive chat.
+
+    One short problem prompt, but a decode budget drawn well past the
+    true answer length -- the decode-heavy shape whose tight TTFT/ITL
+    deadlines deadline admission is judged on.
+    """
+    if not 1 <= min_turn_tokens <= max_turn_tokens:
+        raise ValueError(
+            f"need 1 <= min_turn_tokens <= max_turn_tokens, got "
+            f"{min_turn_tokens} and {max_turn_tokens}"
+        )
+
+    def sampler(rng: np.random.Generator) -> tuple:
+        sample = gsm8k_like.make_problem(rng, n_terms=3)
+        max_new = int(rng.integers(min_turn_tokens, max_turn_tokens + 1))
+        return sample.prompt, max_new
+
+    return Scenario(name="chat_style", slo=slo, sampler=sampler)
+
+
+class ScenarioMix:
+    """Weighted mixture of scenarios, drawn from the factory stream.
+
+    ``factory(tokenizer)`` returns the ``(rng, request_id) -> Request``
+    closure :class:`~repro.serving.loadgen.LoadGenerator` expects: each
+    call first draws which scenario this request belongs to (one
+    uniform draw against the cumulative weights), then that scenario's
+    shape -- all from the generator's own shape stream, so the mix
+    composition is part of the seeded trace.
+    """
+
+    def __init__(self, scenarios: Sequence[Scenario], weights=None):
+        if not scenarios:
+            raise ValueError("need at least one scenario")
+        if weights is None:
+            weights = [1.0] * len(scenarios)
+        if len(weights) != len(scenarios):
+            raise ValueError(
+                f"got {len(weights)} weights for {len(scenarios)} scenarios"
+            )
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ValueError(f"weights must be >= 0 and sum > 0, got {weights}")
+        total = float(sum(weights))
+        self.scenarios = list(scenarios)
+        self.weights = [float(w) / total for w in weights]
+        self._cumulative = np.cumsum(self.weights)
+
+    def draw(self, rng: np.random.Generator) -> Scenario:
+        """One scenario, by weight, from the supplied stream."""
+        u = rng.random()
+        index = int(np.searchsorted(self._cumulative, u, side="right"))
+        return self.scenarios[min(index, len(self.scenarios) - 1)]
+
+    def factory(
+        self, tokenizer: Optional[CharTokenizer] = None
+    ) -> Callable[[np.random.Generator, int], Request]:
+        """The request factory a :class:`LoadGenerator` consumes."""
+        tok = tokenizer if tokenizer is not None else scenario_tokenizer()
+
+        def make_request(rng: np.random.Generator, request_id: int) -> Request:
+            return self.draw(rng).build(rng, request_id, tok)
+
+        return make_request
+
+
+def default_mix() -> ScenarioMix:
+    """The reference traffic blend: chat-heavy with fleet + batch tails."""
+    return ScenarioMix(
+        [chat_style(), fewshot_fleet(), summarise_style()],
+        weights=[0.5, 0.3, 0.2],
+    )
